@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Composition sweep: one application across every processor granularity.
+
+Reproduces, for a single benchmark, the per-application view behind
+figures 6-8: performance, area efficiency, and power efficiency as the
+same binary runs on 1..32 aggregated cores — no recompilation, just a
+different interleaving of the same blocks (the CLP promise).
+
+Run:  python examples/composition_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro.harness import format_table, run_edge_benchmark
+from repro.power import AreaModel, EnergyModel
+from repro.workloads import BENCHMARKS
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "conv"
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; choose from "
+                         f"{', '.join(sorted(BENCHMARKS))}")
+
+    area = AreaModel()
+    rows = []
+    baseline_cycles = None
+    for ncores in (1, 2, 4, 8, 16, 32):
+        run = run_edge_benchmark(name, ncores=ncores)
+        if baseline_cycles is None:
+            baseline_cycles = run.cycles
+        speedup = baseline_cycles / run.cycles
+        perf_area = 1.0 / (run.cycles * area.processor_mm2(ncores))
+        eff = EnergyModel.perf2_per_watt(run.cycles, run.power.total)
+        rows.append([
+            ncores,
+            run.cycles,
+            round(speedup, 2),
+            round(run.stats.ipc, 2),
+            f"{run.stats.prediction_accuracy:.0%}",
+            round(run.power.total, 2),
+            f"{perf_area:.2e}",
+            f"{eff:.2e}",
+        ])
+
+    print(format_table(
+        ["cores", "cycles", "speedup", "IPC", "bpred", "watts",
+         "perf/mm^2", "perf^2/W"],
+        rows,
+        title=f"Composition sweep: {name} (same binary on every granularity)"))
+
+    best_perf = max(rows, key=lambda r: r[2])[0]
+    best_eff = max(rows, key=lambda r: float(r[7]))[0]
+    print(f"\nbest performance at {best_perf} cores; "
+          f"best power efficiency at {best_eff} cores")
+    print("(figure 6/8 shape: performance peaks wider than efficiency)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Write a new kernel in the DSL and compare TFlex against the
+conventional out-of-order baseline — the figure-5 methodology applied to
+your own code.
+
+The kernel (a string-distance scoring loop) is compiled twice from one
+AST: the EDGE backend forms predicated hyperblocks for TFlex, and the
+RISC backend emits linear code for the 4-wide OoO model.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.compiler import (
+    Array, Assign, Bin, Cmp, Const, For, Function, If, KernelProgram, Load,
+    Store, Un, Var, compile_edge, compile_risc,
+)
+from repro.harness import format_table
+from repro.risc import OoOCore
+from repro.tflex import run_program
+from repro.workloads import verify_edge_run
+from repro.workloads.data import Lcg
+
+
+def build_kernel() -> tuple[KernelProgram, dict]:
+    """Banded alignment score between two byte strings."""
+    n = 64
+    rng = Lcg(99)
+    a = rng.ints(n, 0, 3)
+    b = rng.ints(n, 0, 3)
+    kernel = KernelProgram(
+        name="align_score",
+        arrays=[Array("a", "int", n, a), Array("b", "int", n, b),
+                Array("scores", "int", n), Array("total", "int", 1)],
+        functions=[Function("main", body=[
+            Assign("acc", Const(0)),
+            For("i", Const(1), Const(n - 1), unroll=2, body=[
+                Assign("match", Const(-1)),
+                If(Cmp("==", Load("a", Var("i")), Load("b", Var("i"))), then=[
+                    Assign("match", Const(2)),
+                ]),
+                # Small shift tolerance: a diagonal neighbour match
+                # rescues half the penalty.
+                If(Cmp("==", Load("a", Var("i")),
+                       Load("b", Bin("-", Var("i"), Const(1)))), then=[
+                    If(Cmp("<", Var("match"), Const(1)), then=[
+                        Assign("match", Const(1)),
+                    ]),
+                ]),
+                Assign("acc", Bin("+", Var("acc"), Var("match"))),
+                Store("scores", Var("i"), Var("match")),
+            ]),
+            Store("total", Const(0), Var("acc")),
+        ])])
+
+    scores, acc = [0], 0
+    for i in range(1, n - 1):
+        match = 2 if a[i] == b[i] else -1
+        if a[i] == b[i - 1] and match < 1:
+            match = 1
+        acc += match
+        scores.append(match)
+    return kernel, {"scores": scores, "total": [acc]}
+
+
+def main() -> None:
+    kernel, expected = build_kernel()
+
+    # Conventional baseline: 4-wide OoO superscalar.
+    risc_program = compile_risc(kernel)
+    ooo_stats, ooo_interp = OoOCore().run(risc_program)
+    verify_edge_run(kernel, ooo_interp.mem, expected)
+
+    # TFlex at several compositions.
+    edge_program = compile_edge(kernel)
+    rows = [["OoO 4-wide", ooo_stats.cycles, round(ooo_stats.ipc, 2), "-"]]
+    for ncores in (1, 2, 4, 8, 16):
+        proc = run_program(edge_program, num_cores=ncores)
+        verify_edge_run(kernel, proc.memory, expected)
+        rows.append([f"TFlex x{ncores}", proc.stats.cycles,
+                     round(proc.stats.ipc, 2),
+                     round(ooo_stats.cycles / proc.stats.cycles, 2)])
+
+    print(format_table(["machine", "cycles", "IPC", "speedup vs OoO"], rows,
+                       title="Custom kernel: one AST, two targets"))
+    print("\nhyperblocks formed by the EDGE backend:")
+    for label in edge_program.order:
+        block = edge_program.blocks[label]
+        print(f"  {label:12s} {block.size:3d} instructions, "
+              f"{len(block.reads)} reads, {len(block.writes)} writes")
+
+
+if __name__ == "__main__":
+    main()

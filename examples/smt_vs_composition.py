@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Partitioning versus composition: SMT sharing against split processors.
+
+The paper contrasts two ways to run multiple threads on fixed silicon
+(section 2): *partitioning* a large processor between threads (SMT — the
+TRIPS baseline's only flexibility) and *composing* right-sized
+processors per thread (the CLP approach).  This example runs the same
+two-thread workload three ways on 8 cores and compares:
+
+1. SMT: both threads share all 8 cores (issue slots, caches, LSQs);
+2. split 4+4: each thread gets its own 4-core composition;
+3. serial: each thread alone on all 8 cores, back to back.
+
+Run:  python examples/smt_vs_composition.py [benchA benchB]
+"""
+
+import sys
+
+from repro.harness import format_table
+from repro.tflex import TFLEX, TFlexSystem, rectangle
+from repro.workloads import BENCHMARKS, verify_edge_run
+
+
+def run_smt(name_a: str, name_b: str) -> tuple[int, int]:
+    system = TFlexSystem(TFLEX)
+    prog_a, exp_a, kern_a = BENCHMARKS[name_a].edge_program()
+    prog_b, exp_b, kern_b = BENCHMARKS[name_b].edge_program()
+    procs = system.compose_smt(rectangle(TFLEX, 8, (0, 0)), [prog_a, prog_b],
+                               names=[name_a, name_b])
+    system.run()
+    verify_edge_run(kern_a, procs[0].memory, exp_a)
+    verify_edge_run(kern_b, procs[1].memory, exp_b)
+    return procs[0].stats.cycles, procs[1].stats.cycles
+
+
+def run_split(name_a: str, name_b: str) -> tuple[int, int]:
+    system = TFlexSystem(TFLEX)
+    prog_a, exp_a, kern_a = BENCHMARKS[name_a].edge_program()
+    prog_b, exp_b, kern_b = BENCHMARKS[name_b].edge_program()
+    proc_a = system.compose(rectangle(TFLEX, 4, (0, 0)), prog_a)
+    proc_b = system.compose(rectangle(TFLEX, 4, (0, 2)), prog_b)
+    system.run()
+    verify_edge_run(kern_a, proc_a.memory, exp_a)
+    verify_edge_run(kern_b, proc_b.memory, exp_b)
+    return proc_a.stats.cycles, proc_b.stats.cycles
+
+
+def run_alone(name: str) -> int:
+    system = TFlexSystem(TFLEX)
+    prog, exp, kern = BENCHMARKS[name].edge_program()
+    proc = system.compose(rectangle(TFLEX, 8, (0, 0)), prog)
+    system.run()
+    verify_edge_run(kern, proc.memory, exp)
+    return proc.stats.cycles
+
+
+def main() -> None:
+    name_a = sys.argv[1] if len(sys.argv) > 2 else "conv"
+    name_b = sys.argv[2] if len(sys.argv) > 2 else "mcf"
+
+    smt_a, smt_b = run_smt(name_a, name_b)
+    split_a, split_b = run_split(name_a, name_b)
+    alone_a, alone_b = run_alone(name_a), run_alone(name_b)
+
+    rows = [
+        ["SMT (8 shared)", smt_a, smt_b, max(smt_a, smt_b)],
+        ["split 4+4", split_a, split_b, max(split_a, split_b)],
+        ["serial on 8", alone_a, alone_b, alone_a + alone_b],
+    ]
+    print(format_table(
+        ["scheme", f"{name_a} cycles", f"{name_b} cycles", "makespan"],
+        rows, title=f"Two threads ({name_a}, {name_b}) on 8 cores"))
+
+    best = min(rows, key=lambda r: r[3])
+    print(f"\nbest makespan: {best[0]}")
+    print("composition lets the scheduler pick this per workload "
+          "(figure 10's weighted-speedup advantage)")
+
+
+if __name__ == "__main__":
+    main()

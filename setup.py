@@ -1,0 +1,6 @@
+"""Setuptools shim enabling legacy editable installs in offline environments
+(the sandbox lacks the `wheel` package needed for PEP-517 editable installs)."""
+
+from setuptools import setup
+
+setup()

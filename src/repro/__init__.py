@@ -1,0 +1,22 @@
+"""repro — a reproduction of "Composable Lightweight Processors"
+(MICRO-40, 2007).
+
+Subpackages:
+
+* :mod:`repro.isa` — the EDGE (TRIPS-like) block-atomic ISA and golden
+  interpreter;
+* :mod:`repro.compiler` — kernel DSL with EDGE and RISC backends;
+* :mod:`repro.tflex` — the composable-core cycle-level simulator (the
+  paper's contribution) and the TRIPS baseline configuration;
+* :mod:`repro.predictor`, :mod:`repro.noc`, :mod:`repro.mem`,
+  :mod:`repro.lsq` — microarchitectural substrates;
+* :mod:`repro.risc` — the conventional out-of-order comparator;
+* :mod:`repro.power`, :mod:`repro.sched` — area/energy models and the
+  multiprogramming allocator;
+* :mod:`repro.workloads` — the 26-benchmark suite;
+* :mod:`repro.harness` — one experiment driver per table/figure.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark suite with categories and ILP classes.
+* ``run BENCH`` — run one benchmark on a composition (or TRIPS/the OoO
+  baseline) and print the statistics.
+* ``sweep BENCH`` — the composition sweep for one benchmark.
+* ``fig5|fig6|fig7|fig8|fig9|fig10|table2`` — regenerate one of the
+  paper's artifacts (fig7/8/10/table2 compute the figure-6 sweep first).
+* ``disasm BENCH`` — print the compiled EDGE hyperblocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from repro.harness import format_table
+    from repro.workloads import BENCHMARKS
+
+    rows = [[b.name, b.category, b.ilp] for b in
+            sorted(BENCHMARKS.values(), key=lambda b: (b.category, b.name))]
+    print(format_table(["benchmark", "category", "ilp"], rows,
+                       title="26-benchmark suite (paper Table 1)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_edge_benchmark, run_risc_benchmark
+
+    if args.machine == "ooo":
+        result = run_risc_benchmark(args.bench, scale=args.scale)
+        print(f"{args.bench} on OoO baseline: {result.cycles} cycles, "
+              f"{result.insts} insts, {result.mispredictions} mispredicts")
+        return 0
+    run = run_edge_benchmark(args.bench, ncores=args.cores,
+                             trips=(args.machine == "trips"), scale=args.scale)
+    print(f"{args.bench} on {run.label}:")
+    print(run.stats.summary())
+    print(run.power.table())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness import format_table, run_edge_benchmark
+
+    rows = []
+    base = None
+    for ncores in (1, 2, 4, 8, 16, 32):
+        run = run_edge_benchmark(args.bench, ncores=ncores, scale=args.scale)
+        base = base or run.cycles
+        rows.append([ncores, run.cycles, round(base / run.cycles, 2),
+                     round(run.stats.ipc, 2), round(run.power.total, 2)])
+    print(format_table(["cores", "cycles", "speedup", "IPC", "watts"], rows,
+                       title=f"composition sweep: {args.bench}"))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.workloads import BENCHMARKS
+
+    program, __, __k = BENCHMARKS[args.bench].edge_program(args.scale)
+    print(program.disassemble())
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.tflex import TFlexSystem, rectangle, render_timeline, tflex_config
+    from repro.workloads import BENCHMARKS
+
+    program, __, __k = BENCHMARKS[args.bench].edge_program(args.scale)
+    cfg = tflex_config(args.cores)
+    system = TFlexSystem(cfg)
+    proc = system.compose(rectangle(cfg, args.cores), program)
+    proc.enable_block_trace()
+    system.run()
+    print(render_timeline(proc.block_trace[:args.blocks]))
+    print()
+    print(proc.stats.summary())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro import harness
+
+    if args.command == "fig5":
+        print(harness.fig5_baseline(scale=args.scale).render())
+        return 0
+    if args.command == "fig9":
+        print(harness.fig9_protocols(scale=args.scale).render())
+        return 0
+    fig6 = harness.fig6_performance(scale=args.scale)
+    if args.command == "fig6":
+        print(fig6.render())
+    elif args.command == "fig7":
+        print(harness.fig7_area(fig6).render())
+    elif args.command == "fig8":
+        print(harness.fig8_power(fig6).render())
+    elif args.command == "fig10":
+        print(harness.fig10_multiprogramming(fig6).render())
+    elif args.command == "table2":
+        print(harness.table2_area_power(fig6).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Composable Lightweight Processors (TFlex) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    run_p.add_argument("bench")
+    run_p.add_argument("--cores", type=int, default=8,
+                       help="composition size (power of two up to 32)")
+    run_p.add_argument("--machine", choices=("tflex", "trips", "ooo"),
+                       default="tflex")
+    run_p.add_argument("--scale", type=int, default=1)
+
+    sweep_p = sub.add_parser("sweep", help="composition sweep for one benchmark")
+    sweep_p.add_argument("bench")
+    sweep_p.add_argument("--scale", type=int, default=1)
+
+    disasm_p = sub.add_parser("disasm", help="print compiled hyperblocks")
+    disasm_p.add_argument("bench")
+    disasm_p.add_argument("--scale", type=int, default=1)
+
+    tl_p = sub.add_parser("timeline", help="block-pipeline timeline (figure 2 view)")
+    tl_p.add_argument("bench")
+    tl_p.add_argument("--cores", type=int, default=8)
+    tl_p.add_argument("--blocks", type=int, default=16)
+    tl_p.add_argument("--scale", type=int, default=1)
+
+    for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
+        fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
+        fig_p.add_argument("--scale", type=int, default=1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "disasm":
+        return _cmd_disasm(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    return _cmd_figure(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""A miniature compiler standing in for the TRIPS toolchain.
+
+Workloads are written once, in a small typed kernel DSL (scalars,
+arrays, loops, conditionals, calls), and lowered by two backends:
+
+* :mod:`repro.compiler.edge_backend` — forms predicated EDGE hyperblocks
+  (if-conversion via flat predicates, loop unrolling, NULL insertion for
+  conditional outputs, block splitting under the 128-instruction /
+  32-read / 32-write / 32-LSQ limits) for the TFlex/TRIPS simulator;
+* :mod:`repro.compiler.risc_backend` — emits conventional linear RISC
+  code for the out-of-order superscalar baseline (figure 5).
+"""
+
+from repro.compiler.ast_nodes import (
+    Array,
+    Assign,
+    Bin,
+    Call,
+    Cmp,
+    Const,
+    For,
+    Function,
+    If,
+    ItoF,
+    FtoI,
+    KernelProgram,
+    Load,
+    Return,
+    Store,
+    Un,
+    Var,
+    CompileError,
+)
+from repro.compiler.edge_backend import compile_edge
+from repro.compiler.risc_backend import compile_risc
+from repro.compiler.schedule import place_block, place_program, cross_core_edges
+
+__all__ = [
+    "Array",
+    "Assign",
+    "Bin",
+    "Call",
+    "Cmp",
+    "Const",
+    "For",
+    "Function",
+    "If",
+    "ItoF",
+    "FtoI",
+    "KernelProgram",
+    "Load",
+    "Return",
+    "Store",
+    "Un",
+    "Var",
+    "CompileError",
+    "compile_edge",
+    "compile_risc",
+    "place_block",
+    "place_program",
+    "cross_core_edges",
+]

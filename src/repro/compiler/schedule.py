@@ -1,0 +1,150 @@
+"""Instruction placement: scheduling blocks for a target composition.
+
+Under the composition interleaving hash, instruction *i* of a block
+executes on participating core ``i mod N`` (paper section 4.4) — so
+renumbering instructions is *placement*: it decides which core runs
+each instruction and therefore how many operand-network hops each
+dataflow edge crosses.  The paper's toolchain scheduled programs
+assuming a 32-core processor and noted that running on fewer cores
+loses little; this module provides the equivalent pass.
+
+The greedy list scheduler processes instructions in dependence
+(topological) order and tries to place each consumer on the core of the
+producer that feeds it, subject to per-core slot counts staying
+balanced (each core owns slots ``c, c+N, c+2N, ...`` and a block has at
+most ``ceil(size/N)`` slots per core).  Renumbering rewrites every
+dataflow target; reads, writes, LSQ ids, and semantics are unchanged,
+which the tests check by golden-model differential execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.isa.block import Block, ReadSlot
+from repro.isa.instruction import Instruction, Target, TargetKind
+from repro.isa.program import Program
+
+
+def _consumers(block: Block) -> dict[int, list[int]]:
+    """iid -> iids of instructions consuming its result."""
+    out: dict[int, list[int]] = {i: [] for i in range(block.size)}
+    for inst in block.insts:
+        for target in inst.targets:
+            if target.kind is TargetKind.INST:
+                out[inst.iid].append(target.index)
+    return out
+
+
+def _producers(block: Block) -> dict[int, list[int]]:
+    """iid -> iids of instructions feeding its operands."""
+    out: dict[int, list[int]] = {i: [] for i in range(block.size)}
+    for inst in block.insts:
+        for target in inst.targets:
+            if target.kind is TargetKind.INST:
+                out[target.index].append(inst.iid)
+    return out
+
+
+def place_block(block: Block, num_cores: int) -> Block:
+    """Renumber a block's instructions for an N-core composition.
+
+    Returns a new, validated block; the identity placement is returned
+    unchanged for single-core targets.
+    """
+    n = block.size
+    if num_cores <= 1 or n <= 1:
+        return block
+
+    producers = _producers(block)
+    consumers = _consumers(block)
+
+    # Topological order (blocks are DAGs on the dataflow edges; predicate
+    # and operand edges both count).
+    indegree = {i: len(producers[i]) for i in range(n)}
+    ready = sorted(i for i in range(n) if indegree[i] == 0)
+    topo: list[int] = []
+    while ready:
+        iid = ready.pop(0)
+        topo.append(iid)
+        for consumer in consumers[iid]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                # Keep deterministic order.
+                lo = 0
+                while lo < len(ready) and ready[lo] < consumer:
+                    lo += 1
+                ready.insert(lo, consumer)
+    if len(topo) != n:
+        # Cyclic targets should be impossible; fall back to identity.
+        return block
+
+    slots_per_core = -(-n // num_cores)
+    used = [0] * num_cores           # slots taken per core
+    core_of: dict[int, int] = {}
+
+    def pick_core(iid: int) -> int:
+        # Prefer the core of the producer whose value arrives last
+        # (approximated by placement order: the most recently placed).
+        candidates = [core_of[p] for p in producers[iid] if p in core_of]
+        for core in reversed(candidates):
+            if used[core] < slots_per_core:
+                return core
+        # Else: least-loaded core (ties to the lowest index).
+        return min(range(num_cores), key=lambda c: (used[c], c))
+
+    # Assign slot numbers: core c owns iids c, c+N, c+2N, ...
+    new_iid: dict[int, int] = {}
+    for iid in topo:
+        core = pick_core(iid)
+        new_iid[iid] = core + num_cores * used[core]
+        used[core] += 1
+        core_of[iid] = core
+
+    # Compact: some cores may be underfull, leaving gaps beyond `n`.
+    taken = sorted(new_iid.values())
+    compact = {slot: rank for rank, slot in enumerate(taken)}
+    mapping = {old: compact[slot] for old, slot in new_iid.items()}
+
+    def remap_target(target: Target) -> Target:
+        if target.kind is TargetKind.INST:
+            return Target(TargetKind.INST, mapping[target.index], target.slot)
+        return target
+
+    new_insts: list[Optional[Instruction]] = [None] * n
+    for inst in block.insts:
+        new_insts[mapping[inst.iid]] = replace(
+            inst, iid=mapping[inst.iid],
+            targets=tuple(remap_target(t) for t in inst.targets))
+    new_reads = [
+        ReadSlot(index=r.index, reg=r.reg,
+                 targets=tuple(remap_target(t) for t in r.targets))
+        for r in block.reads
+    ]
+    placed = Block(label=block.label, insts=new_insts, reads=new_reads,
+                   writes=list(block.writes), comment=block.comment)
+    placed.validate()
+    return placed
+
+
+def place_program(program: Program, num_cores: int) -> Program:
+    """Schedule every block of a program for an N-core composition."""
+    placed = Program(entry=program.entry, name=program.name,
+                     data=dict(program.data), reg_init=dict(program.reg_init))
+    for label in program.order:
+        placed.add_block(place_block(program.blocks[label], num_cores))
+    placed.validate()
+    return placed
+
+
+def cross_core_edges(block: Block, num_cores: int) -> int:
+    """Dataflow edges whose producer and consumer land on different
+    cores under the interleaving hash (the placement cost metric)."""
+    count = 0
+    for inst in block.insts:
+        for target in inst.targets:
+            if target.kind is TargetKind.INST:
+                if inst.iid % num_cores != target.index % num_cores:
+                    count += 1
+    return count

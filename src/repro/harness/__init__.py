@@ -1,0 +1,41 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+See DESIGN.md's experiment index.  Results cache within a process so
+that figure 7 (area), figure 8 (power), and figure 10 (multiprogramming)
+reuse the figure 6 performance sweep, as in the paper's methodology.
+"""
+
+from repro.harness.runner import (
+    RunResult,
+    RiscResult,
+    run_edge_benchmark,
+    run_risc_benchmark,
+    clear_cache,
+)
+from repro.harness.experiments import (
+    fig5_baseline,
+    fig6_performance,
+    fig7_area,
+    fig8_power,
+    fig9_protocols,
+    fig10_multiprogramming,
+    table2_area_power,
+)
+from repro.harness.reporting import format_table, geomean
+
+__all__ = [
+    "RunResult",
+    "RiscResult",
+    "run_edge_benchmark",
+    "run_risc_benchmark",
+    "clear_cache",
+    "fig5_baseline",
+    "fig6_performance",
+    "fig7_area",
+    "fig8_power",
+    "fig9_protocols",
+    "fig10_multiprogramming",
+    "table2_area_power",
+    "format_table",
+    "geomean",
+]

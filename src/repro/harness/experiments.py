@@ -1,0 +1,455 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each driver returns a result object with the raw series plus a
+``render()`` that prints rows comparable to the paper's plot, and the
+benchmark harness asserts the qualitative claims (who wins, roughly by
+how much, where the peaks fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.harness.reporting import format_table, geomean
+from repro.harness.runner import RunResult, run_edge_benchmark, run_risc_benchmark
+from repro.power import AreaModel, EnergyModel
+from repro.sched import (
+    SpeedupTable,
+    fixed_cmp_assignment,
+    optimal_assignment,
+    symmetric_best_assignment,
+)
+from repro.workloads import BENCHMARKS, hand_optimized
+from repro.workloads.data import Lcg
+
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _suite(benchmarks: Optional[Sequence[str]]) -> list[str]:
+    if benchmarks is None:
+        return sorted(BENCHMARKS)
+    return list(benchmarks)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: performance versus composition size
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    """Cycles for every benchmark on every configuration."""
+
+    scale: int
+    core_counts: tuple[int, ...]
+    benchmarks: list[str]
+    runs: dict[str, dict[str, RunResult]]   # bench -> label -> result
+
+    def cycles(self, bench: str, label: str) -> int:
+        return self.runs[bench][label].cycles
+
+    def speedup(self, bench: str, label: str) -> float:
+        """Speedup over a single TFlex core (the paper's baseline)."""
+        return self.cycles(bench, "tflex-1") / self.cycles(bench, label)
+
+    def tflex_labels(self) -> list[str]:
+        return [f"tflex-{n}" for n in self.core_counts]
+
+    def best_label(self, bench: str) -> str:
+        return max(self.tflex_labels(), key=lambda lb: self.speedup(bench, lb))
+
+    def best_speedup(self, bench: str) -> float:
+        return self.speedup(bench, self.best_label(bench))
+
+    def mean_speedup(self, label: str) -> float:
+        return geomean([self.speedup(b, label) for b in self.benchmarks])
+
+    def mean_best_speedup(self) -> float:
+        return geomean([self.best_speedup(b) for b in self.benchmarks])
+
+    def has_trips(self) -> bool:
+        return all("trips" in self.runs[b] for b in self.benchmarks)
+
+    def speedup_table(self, benchmarks: Optional[Sequence[str]] = None) -> SpeedupTable:
+        """Per-benchmark cores -> performance functions for figure 10."""
+        names = list(benchmarks) if benchmarks is not None else self.benchmarks
+        return SpeedupTable(perf={
+            b: {n: 1.0 / self.cycles(b, f"tflex-{n}") for n in self.core_counts}
+            for b in names
+        })
+
+    def render(self) -> str:
+        labels = self.tflex_labels() + (["trips"] if self.has_trips() else [])
+        headers = ["benchmark", "ilp"] + labels + ["BEST", "best@"]
+        rows = []
+        ordered = sorted(self.benchmarks,
+                         key=lambda b: (BENCHMARKS[b].ilp != "low", b))
+        for bench in ordered:
+            row = [bench, BENCHMARKS[bench].ilp]
+            row += [round(self.speedup(bench, lb), 2) for lb in labels]
+            row += [round(self.best_speedup(bench), 2),
+                    self.best_label(bench).replace("tflex-", "")]
+            rows.append(row)
+        mean_row = ["GEOMEAN", ""]
+        mean_row += [round(self.mean_speedup(lb), 2) for lb in labels]
+        mean_row += [round(self.mean_best_speedup(), 2), ""]
+        rows.append(mean_row)
+        return format_table(headers, rows,
+                            title="Figure 6: speedup over one TFlex core")
+
+
+def fig6_performance(scale: int = 1,
+                     core_counts: Sequence[int] = CORE_COUNTS,
+                     benchmarks: Optional[Sequence[str]] = None,
+                     include_trips: bool = True) -> Fig6Result:
+    names = _suite(benchmarks)
+    runs: dict[str, dict[str, RunResult]] = {}
+    for name in names:
+        per_config: dict[str, RunResult] = {}
+        for n in core_counts:
+            per_config[f"tflex-{n}"] = run_edge_benchmark(name, ncores=n, scale=scale)
+        if include_trips:
+            per_config["trips"] = run_edge_benchmark(name, trips=True, scale=scale)
+        runs[name] = per_config
+    return Fig6Result(scale=scale, core_counts=tuple(core_counts),
+                      benchmarks=names, runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Figure 5: TRIPS versus a conventional OoO superscalar
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    """Relative performance (1/cycle count) of TRIPS normalized to the
+    conventional out-of-order baseline."""
+
+    ratios: dict[str, float]       # bench -> risc_cycles / trips_cycles
+
+    def category_mean(self, category: str) -> float:
+        names = [b for b in self.ratios if BENCHMARKS[b].category == category]
+        return geomean([self.ratios[b] for b in names])
+
+    def render(self) -> str:
+        rows = [[b, BENCHMARKS[b].category, round(r, 2)]
+                for b, r in sorted(self.ratios.items())]
+        rows.append(["GEOMEAN hand", "", round(self.category_mean("hand"), 2)])
+        rows.append(["GEOMEAN spec_int", "", round(self.category_mean("spec_int"), 2)])
+        rows.append(["GEOMEAN spec_fp", "", round(self.category_mean("spec_fp"), 2)])
+        return format_table(
+            ["benchmark", "category", "TRIPS speedup vs OoO"], rows,
+            title="Figure 5: TRIPS relative performance vs conventional OoO")
+
+
+def fig5_baseline(scale: int = 1,
+                  benchmarks: Optional[Sequence[str]] = None) -> Fig5Result:
+    names = _suite(benchmarks)
+    ratios = {}
+    for name in names:
+        trips = run_edge_benchmark(name, trips=True, scale=scale)
+        risc = run_risc_benchmark(name, scale=scale)
+        ratios[name] = risc.cycles / trips.cycles
+    return Fig5Result(ratios=ratios)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: performance per area
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig7Result:
+    fig6: Fig6Result
+    area: AreaModel = field(default_factory=AreaModel)
+
+    def perf_per_area(self, bench: str, label: str) -> float:
+        run = self.fig6.runs[bench][label]
+        mm2 = (self.area.trips_mm2 if label == "trips"
+               else self.area.processor_mm2(run.num_cores))
+        return 1.0 / (run.cycles * mm2)
+
+    def normalized(self, bench: str, label: str) -> float:
+        return self.perf_per_area(bench, label) / self.perf_per_area(bench, "tflex-1")
+
+    def mean_normalized(self, label: str) -> float:
+        return geomean([self.normalized(b, label) for b in self.fig6.benchmarks])
+
+    def best_label(self, bench: str) -> str:
+        return max(self.fig6.tflex_labels(), key=lambda lb: self.normalized(bench, lb))
+
+    def mean_best(self) -> float:
+        return geomean([self.normalized(b, self.best_label(b))
+                        for b in self.fig6.benchmarks])
+
+    def render(self) -> str:
+        labels = self.fig6.tflex_labels() + (["trips"] if self.fig6.has_trips() else [])
+        headers = ["benchmark"] + labels + ["BEST@"]
+        rows = []
+        for bench in self.fig6.benchmarks:
+            row = [bench] + [round(self.normalized(bench, lb), 3) for lb in labels]
+            row.append(self.best_label(bench).replace("tflex-", ""))
+            rows.append(row)
+        rows.append(["GEOMEAN"] + [round(self.mean_normalized(lb), 3) for lb in labels]
+                    + [""])
+        return format_table(headers, rows,
+                            title="Figure 7: performance/area (1/(cycles*mm^2)), "
+                                  "normalized to one TFlex core")
+
+
+def fig7_area(fig6: Fig6Result) -> Fig7Result:
+    return Fig7Result(fig6=fig6)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: power efficiency (performance^2 / W)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig8Result:
+    fig6: Fig6Result
+
+    def efficiency(self, bench: str, label: str) -> float:
+        run = self.fig6.runs[bench][label]
+        return EnergyModel.perf2_per_watt(run.cycles, run.power.total)
+
+    def normalized(self, bench: str, label: str) -> float:
+        return self.efficiency(bench, label) / self.efficiency(bench, "tflex-1")
+
+    def mean_normalized(self, label: str) -> float:
+        return geomean([self.normalized(b, label) for b in self.fig6.benchmarks])
+
+    def best_label(self, bench: str) -> str:
+        return max(self.fig6.tflex_labels(), key=lambda lb: self.normalized(bench, lb))
+
+    def mean_best(self) -> float:
+        return geomean([self.normalized(b, self.best_label(b))
+                        for b in self.fig6.benchmarks])
+
+    def best_fixed_label(self) -> str:
+        return max(self.fig6.tflex_labels(), key=self.mean_normalized)
+
+    def render(self) -> str:
+        labels = self.fig6.tflex_labels() + (["trips"] if self.fig6.has_trips() else [])
+        headers = ["benchmark"] + labels + ["BEST@"]
+        rows = []
+        for bench in self.fig6.benchmarks:
+            row = [bench] + [round(self.normalized(bench, lb), 3) for lb in labels]
+            row.append(self.best_label(bench).replace("tflex-", ""))
+            rows.append(row)
+        rows.append(["GEOMEAN"] + [round(self.mean_normalized(lb), 3) for lb in labels]
+                    + [""])
+        return format_table(headers, rows,
+                            title="Figure 8: performance^2/W, normalized to one TFlex core")
+
+
+def fig8_power(fig6: Fig6Result) -> Fig8Result:
+    return Fig8Result(fig6=fig6)
+
+
+# ----------------------------------------------------------------------
+# Figure 9: distributed fetch/commit overheads + ideal-handshake ablation
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig9Result:
+    core_counts: tuple[int, ...]
+    fetch: dict[int, dict[str, float]]      # cores -> component -> mean cycles
+    commit: dict[int, dict[str, float]]
+    ablation: dict[str, float]              # bench -> relative slowdown of real
+                                            # handshakes at the largest composition
+
+    FETCH_ORDER = ("prediction", "handoff", "tag", "pipeline", "distribution",
+                   "dispatch")
+
+    def fetch_total(self, cores: int) -> float:
+        return sum(self.fetch[cores].values())
+
+    def commit_total(self, cores: int) -> float:
+        return sum(self.commit[cores].values())
+
+    def mean_ablation_impact(self) -> float:
+        values = list(self.ablation.values())
+        return sum(values) / len(values) if values else 0.0
+
+    def render(self) -> str:
+        rows = []
+        for n in self.core_counts:
+            row = [n] + [round(self.fetch[n].get(c, 0.0), 1) for c in self.FETCH_ORDER]
+            row.append(round(self.fetch_total(n), 1))
+            rows.append(row)
+        fetch_tbl = format_table(
+            ["cores"] + list(self.FETCH_ORDER) + ["total"], rows,
+            title="Figure 9a: distributed fetch latency breakdown (cycles/block)")
+        rows = []
+        for n in self.core_counts:
+            row = [n,
+                   round(self.commit[n].get("state_update", 0.0), 1),
+                   round(self.commit[n].get("handshake", 0.0), 1),
+                   round(self.commit_total(n), 1)]
+            rows.append(row)
+        commit_tbl = format_table(
+            ["cores", "state_update", "handshake", "total"], rows,
+            title="Figure 9b: distributed commit latency breakdown (cycles/block)")
+        abl = (f"Section 6.4 ablation: instantaneous handshakes speed up the "
+               f"largest composition by {self.mean_ablation_impact():.1%} on average "
+               f"(paper: < 2%)")
+        return "\n\n".join([fetch_tbl, commit_tbl, abl])
+
+
+def fig9_protocols(scale: int = 1,
+                   core_counts: Sequence[int] = CORE_COUNTS,
+                   benchmarks: Optional[Sequence[str]] = None) -> Fig9Result:
+    names = _suite(benchmarks)
+    fetch: dict[int, dict[str, float]] = {}
+    commit: dict[int, dict[str, float]] = {}
+    for n in core_counts:
+        fetch_acc: dict[str, float] = {}
+        commit_acc: dict[str, float] = {}
+        for name in names:
+            run = run_edge_benchmark(name, ncores=n, scale=scale)
+            for component, value in run.stats.fetch_latency.means().items():
+                fetch_acc[component] = fetch_acc.get(component, 0.0) + value
+            for component, value in run.stats.commit_latency.means().items():
+                commit_acc[component] = commit_acc.get(component, 0.0) + value
+        fetch[n] = {c: v / len(names) for c, v in fetch_acc.items()}
+        commit[n] = {c: v / len(names) for c, v in commit_acc.items()}
+
+    largest = max(core_counts)
+    ablation = {}
+    for name in names:
+        real = run_edge_benchmark(name, ncores=largest, scale=scale)
+        ideal = run_edge_benchmark(name, ncores=largest, scale=scale,
+                                   ideal_handshake=True)
+        ablation[name] = (real.cycles - ideal.cycles) / real.cycles
+    return Fig9Result(core_counts=tuple(core_counts), fetch=fetch,
+                      commit=commit, ablation=ablation)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: multiprogrammed weighted speedup
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig10Result:
+    sizes: tuple[int, ...]
+    granularities: tuple[int, ...]
+    #: workload size -> scheme label -> average WS over sampled workloads.
+    ws: dict[int, dict[str, float]]
+    #: workload size -> {granularity: fraction of threads} under TFlex.
+    allocation: dict[int, dict[int, float]]
+
+    def average(self, label: str) -> float:
+        return sum(self.ws[m][label] for m in self.sizes) / len(self.sizes)
+
+    def best_fixed_label(self) -> str:
+        labels = [f"CMP-{g}" for g in self.granularities]
+        return max(labels, key=self.average)
+
+    def tflex_gain_over_best_fixed(self) -> float:
+        return self.average("TFlex") / self.average(self.best_fixed_label()) - 1.0
+
+    def tflex_max_gain(self) -> float:
+        best = self.best_fixed_label()
+        return max(self.ws[m]["TFlex"] / self.ws[m][best] - 1.0
+                   for m in self.sizes)
+
+    def tflex_gain_over_vb(self) -> float:
+        return self.average("TFlex") / self.average("VB-CMP") - 1.0
+
+    def render(self) -> str:
+        labels = [f"CMP-{g}" for g in self.granularities] + ["VB-CMP", "TFlex"]
+        rows = []
+        for m in self.sizes:
+            rows.append([m] + [round(self.ws[m][lb], 2) for lb in labels])
+        rows.append(["AVG"] + [round(self.average(lb), 2) for lb in labels])
+        ws_tbl = format_table(["threads"] + labels, rows,
+                              title="Figure 10: average weighted speedup")
+        rows = []
+        sizes_cols = sorted({g for m in self.sizes for g in self.allocation[m]})
+        for m in self.sizes:
+            rows.append([m] + [f"{self.allocation[m].get(g, 0.0):.0%}"
+                               for g in sizes_cols])
+        alloc_tbl = format_table(["threads"] + [f"{g}c" for g in sizes_cols], rows,
+                                 title="TFlex allocation: fraction of threads per granularity")
+        summary = (f"TFlex vs best fixed CMP ({self.best_fixed_label()}): "
+                   f"avg +{self.tflex_gain_over_best_fixed():.0%}, "
+                   f"max +{self.tflex_max_gain():.0%}; "
+                   f"vs symmetric VB-CMP: +{self.tflex_gain_over_vb():.0%}")
+        return "\n\n".join([ws_tbl, alloc_tbl, summary])
+
+
+def fig10_multiprogramming(fig6: Fig6Result,
+                           sizes: Sequence[int] = (2, 4, 6, 8, 12, 16),
+                           granularities: Sequence[int] = (1, 2, 4, 8, 16),
+                           workloads_per_size: int = 8,
+                           seed: int = 2007) -> Fig10Result:
+    """Paper methodology: WS computed analytically from the figure-6
+    cores->speedup functions of the 12 hand-optimized benchmarks, with
+    an optimal DP allocator for TFlex."""
+    apps_pool = [b.name for b in hand_optimized() if b.name in fig6.benchmarks]
+    if not apps_pool:
+        apps_pool = fig6.benchmarks
+    table = fig6.speedup_table(apps_pool)
+    allowed = tuple(fig6.core_counts)   # only measured composition sizes
+    granularities = tuple(g for g in granularities if g in allowed)
+    rng = Lcg(seed)
+
+    ws: dict[int, dict[str, float]] = {}
+    allocation: dict[int, dict[int, float]] = {}
+    for m in sizes:
+        totals = {f"CMP-{g}": 0.0 for g in granularities}
+        totals["VB-CMP"] = 0.0
+        totals["TFlex"] = 0.0
+        size_counts: dict[int, int] = {}
+        for __ in range(workloads_per_size):
+            workload = [apps_pool[rng.next() % len(apps_pool)] for __ in range(m)]
+            for g in granularities:
+                totals[f"CMP-{g}"] += fixed_cmp_assignment(workload, table, g)[0]
+            totals["VB-CMP"] += symmetric_best_assignment(
+                workload, table, allowed=allowed)[0]
+            tflex_ws, assigned = optimal_assignment(workload, table, allowed=allowed)
+            totals["TFlex"] += tflex_ws
+            for k in assigned:
+                size_counts[k] = size_counts.get(k, 0) + 1
+        ws[m] = {label: total / workloads_per_size for label, total in totals.items()}
+        assigned_total = sum(size_counts.values())
+        allocation[m] = {k: c / assigned_total for k, c in sorted(size_counts.items())}
+    return Fig10Result(sizes=tuple(sizes), granularities=tuple(granularities),
+                       ws=ws, allocation=allocation)
+
+
+# ----------------------------------------------------------------------
+# Table 2: area and average power breakdown
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table2Result:
+    area: AreaModel
+    tflex_power: dict[str, float]    # category -> mean W over the suite
+    trips_power: dict[str, float]
+
+    def render(self) -> str:
+        area_tbl = self.area.table()
+        categories = sorted(set(self.tflex_power) | set(self.trips_power))
+        rows = [[c, round(self.trips_power.get(c, 0.0), 3),
+                 round(self.tflex_power.get(c, 0.0), 3)]
+                for c in categories]
+        rows.append(["total", round(sum(self.trips_power.values()), 3),
+                     round(sum(self.tflex_power.values()), 3)])
+        power_tbl = format_table(["category", "TRIPS (W)", "8-core TFlex (W)"],
+                                 rows, title="Table 2: average power breakdown")
+        return area_tbl + "\n\n" + power_tbl
+
+
+def table2_area_power(fig6: Fig6Result) -> Table2Result:
+    def mean_power(label: str) -> dict[str, float]:
+        acc: dict[str, float] = {}
+        for bench in fig6.benchmarks:
+            run = fig6.runs[bench][label]
+            for category, watts in run.power.watts.items():
+                acc[category] = acc.get(category, 0.0) + watts
+        return {c: v / len(fig6.benchmarks) for c, v in acc.items()}
+
+    return Table2Result(area=AreaModel(),
+                        tflex_power=mean_power("tflex-8"),
+                        trips_power=mean_power("trips"))

@@ -1,0 +1,125 @@
+"""Benchmark execution with in-process result caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power import EnergyModel, EnergyParams, PowerBreakdown
+from repro.tflex import TFlexSystem, tflex_config, trips_config
+from repro.tflex.placement import rectangle
+from repro.tflex.stats import ProcStats
+from repro.risc import OoOCore
+from repro.workloads import BENCHMARKS, verify_edge_run
+
+
+@dataclass
+class RunResult:
+    """One benchmark run on one TFlex/TRIPS configuration."""
+
+    bench: str
+    label: str                 # "tflex-8", "trips", "tflex-32-ideal", ...
+    num_cores: int
+    cycles: int
+    insts_committed: int
+    stats: ProcStats
+    power: PowerBreakdown
+    dram_requests: int
+
+    @property
+    def performance(self) -> float:
+        return 1.0 / self.cycles
+
+
+@dataclass
+class RiscResult:
+    """One benchmark run on the out-of-order RISC baseline."""
+
+    bench: str
+    cycles: int
+    insts: int
+    mispredictions: int
+
+
+_CACHE: dict[tuple, object] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
+                       scale: int = 1, ideal_handshake: bool = False,
+                       overrides: Optional[dict] = None,
+                       core_overrides: Optional[dict] = None,
+                       verify: bool = True) -> RunResult:
+    """Run one benchmark on a TFlex composition (or the TRIPS baseline).
+
+    Results are cached per (name, configuration, scale); architectural
+    output is verified against the Python reference unless disabled.
+    ``overrides``/``core_overrides`` replace :class:`SystemConfig` /
+    :class:`CoreConfig` fields for ablation studies.
+    """
+    label = "trips" if trips else f"tflex-{ncores}"
+    if ideal_handshake:
+        label += "-ideal"
+    for source in (overrides, core_overrides):
+        for field_name, value in sorted((source or {}).items()):
+            label += f"+{field_name}={value}"
+    key = ("edge", name, label, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    benchmark = BENCHMARKS[name]
+    program, expected, kernel = benchmark.edge_program(scale)
+    if trips:
+        cfg = trips_config()
+        ncores = cfg.num_cores
+    else:
+        cfg = tflex_config(ncores)
+    from dataclasses import replace
+    if ideal_handshake:
+        cfg = replace(cfg, ideal_handshake=True)
+    if core_overrides:
+        cfg = replace(cfg, core=replace(cfg.core, **core_overrides))
+    if overrides:
+        cfg = replace(cfg, **overrides)
+
+    system = TFlexSystem(cfg)
+    proc = system.compose(rectangle(cfg, ncores), program, name=name)
+    system.run(max_cycles=30_000_000)
+    if verify:
+        verify_edge_run(kernel, proc.memory, expected)
+
+    params = EnergyParams.trips() if trips else None
+    power = EnergyModel(params).breakdown(
+        proc.stats.energy_events, proc.stats.cycles, proc.ncores,
+        dram_requests=system.dram.stats.requests)
+
+    result = RunResult(
+        bench=name, label=label, num_cores=ncores,
+        cycles=proc.stats.cycles, insts_committed=proc.stats.insts_committed,
+        stats=proc.stats, power=power,
+        dram_requests=system.dram.stats.requests)
+    _CACHE[key] = result
+    return result
+
+
+def run_risc_benchmark(name: str, scale: int = 1,
+                       verify: bool = True) -> RiscResult:
+    """Run one benchmark on the OoO superscalar baseline (figure 5)."""
+    key = ("risc", name, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    benchmark = BENCHMARKS[name]
+    program, expected, kernel = benchmark.risc_program(scale)
+    stats, interp = OoOCore().run(program)
+    if verify:
+        verify_edge_run(kernel, interp.mem, expected)
+    result = RiscResult(bench=name, cycles=stats.cycles, insts=stats.insts,
+                        mispredictions=stats.mispredictions)
+    _CACHE[key] = result
+    return result

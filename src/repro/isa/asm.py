@@ -1,0 +1,188 @@
+"""Textual EDGE assembly: a parser for the disassembly format.
+
+``Program.disassemble()`` / ``Block.disassemble()`` emit a canonical
+listing; this module parses it back, closing the loop for hand-written
+assembly, golden files, and tooling.  Grammar (one item per line)::
+
+    ; comment                              (anywhere)
+    program NAME entry LABEL               (optional header)
+    block LABEL:
+      R0   read  r5   => I3.l, I7.r        (read slots, in order)
+      W0   write r9                        (write slots, in order)
+      I0   ADDI   #4 => I1.l               (instructions, in order)
+      I1   TLEI   <p> #20 => W0            (predicates: <p> / <!p>)
+      I2   BRO    [exit 0] -> loop         (branches)
+      I3   STD    #0 [lsq 0]               (memory ops)
+
+Data segments and register initialization are loader concerns and not
+part of the assembly (as with the binary encoding).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.isa.block import Block, ReadSlot, WriteSlot
+from repro.isa.instruction import Instruction, LabelRef, OperandSlot, Target, TargetKind
+from repro.isa.opcodes import OPCODES
+from repro.isa.program import Program
+
+
+class AsmError(Exception):
+    """Syntax or semantic error in an assembly listing."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_SLOT_NAMES = {"p": OperandSlot.PRED, "l": OperandSlot.OP0, "r": OperandSlot.OP1}
+_SLOT_CHARS = {v: k for k, v in _SLOT_NAMES.items()}
+
+_TARGET_RE = re.compile(r"^(?:I(\d+)\.([plr])|W(\d+))$")
+_READ_RE = re.compile(r"^R(\d+)\s+read\s+r(\d+)(?:\s+=>\s*(.*))?$")
+_WRITE_RE = re.compile(r"^W(\d+)\s+write\s+r(\d+)$")
+_INST_RE = re.compile(r"^I(\d+)\s+(\S+)\s*(.*)$")
+_BLOCK_RE = re.compile(r"^block\s+(\S+):")
+_PROGRAM_RE = re.compile(r"^;\s*program\s+(\S+)\s+entry=(\S+)$")
+
+
+def _parse_target(text: str, line_no: int) -> Target:
+    match = _TARGET_RE.match(text.strip())
+    if not match:
+        raise AsmError(line_no, f"bad target {text!r}")
+    if match.group(3) is not None:
+        return Target(TargetKind.WRITE, int(match.group(3)))
+    return Target(TargetKind.INST, int(match.group(1)),
+                  _SLOT_NAMES[match.group(2)])
+
+
+def _parse_imm(text: str):
+    if text.startswith("&"):
+        return LabelRef(text[1:])
+    try:
+        return int(text, 0)
+    except ValueError:
+        return float(text)
+
+
+def parse_instruction(line: str, line_no: int) -> Instruction:
+    """Parse one ``I<n> OPCODE ...`` line."""
+    match = _INST_RE.match(line.strip())
+    if not match:
+        raise AsmError(line_no, f"expected instruction, got {line!r}")
+    iid = int(match.group(1))
+    opname = match.group(2)
+    spec = OPCODES.get(opname)
+    if spec is None:
+        raise AsmError(line_no, f"unknown opcode {opname!r}")
+    rest = match.group(3).strip()
+
+    pred: Optional[bool] = None
+    imm = None
+    lsq_id = None
+    exit_id = None
+    branch_target = None
+    null_store = False
+    targets: tuple[Target, ...] = ()
+
+    if "=>" in rest:
+        rest, target_text = rest.split("=>", 1)
+        targets = tuple(_parse_target(t, line_no)
+                        for t in target_text.split(",") if t.strip())
+        rest = rest.strip()
+    if "->" in rest:
+        rest, label = rest.split("->", 1)
+        branch_target = label.strip()
+        rest = rest.strip()
+
+    lsq_match = re.search(r"\[lsq\s+(\d+)\]", rest)
+    if lsq_match:
+        lsq_id = int(lsq_match.group(1))
+        rest = rest.replace(lsq_match.group(0), " ")
+    exit_match = re.search(r"\[exit\s+(\d+)\]", rest)
+    if exit_match:
+        exit_id = int(exit_match.group(1))
+        rest = rest.replace(exit_match.group(0), " ")
+
+    for token in rest.split():
+        if token == "<p>":
+            pred = True
+        elif token == "<!p>":
+            pred = False
+        elif token.startswith("#"):
+            imm = _parse_imm(token[1:])
+        elif token == "[null-store]":
+            null_store = True
+        else:
+            raise AsmError(line_no, f"unexpected token {token!r}")
+
+    if spec.name == "NULL" and lsq_id is not None:
+        null_store = True
+    return Instruction(iid=iid, op=spec, targets=targets, pred=pred, imm=imm,
+                       lsq_id=lsq_id, exit_id=exit_id,
+                       branch_target=branch_target, null_store=null_store)
+
+
+def parse_block(lines: list[tuple[int, str]], label: str) -> Block:
+    """Parse the body lines of one block."""
+    reads: list[ReadSlot] = []
+    writes: list[WriteSlot] = []
+    insts: list[Instruction] = []
+    for line_no, line in lines:
+        text = line.strip()
+        if not text or text.startswith(";"):
+            continue
+        read_match = _READ_RE.match(text)
+        if read_match:
+            index, reg, target_text = read_match.groups()
+            targets = tuple(_parse_target(t, line_no)
+                            for t in (target_text or "").split(",") if t.strip())
+            reads.append(ReadSlot(index=int(index), reg=int(reg), targets=targets))
+            continue
+        write_match = _WRITE_RE.match(text)
+        if write_match:
+            writes.append(WriteSlot(index=int(write_match.group(1)),
+                                    reg=int(write_match.group(2))))
+            continue
+        insts.append(parse_instruction(text, line_no))
+    block = Block(label=label, insts=insts, reads=reads, writes=writes)
+    return block
+
+
+def assemble(text: str, entry: Optional[str] = None,
+             validate: bool = True) -> Program:
+    """Assemble a full listing into a :class:`Program`.
+
+    The entry block defaults to the listing's ``; program ... entry=``
+    header, else the first block."""
+    blocks: list[tuple[str, list[tuple[int, str]]]] = []
+    name = "asm"
+    header_entry = None
+    current: Optional[list[tuple[int, str]]] = None
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        header = _PROGRAM_RE.match(stripped)
+        if header:
+            name, header_entry = header.groups()
+            continue
+        block_match = _BLOCK_RE.match(stripped)
+        if block_match:
+            current = []
+            blocks.append((block_match.group(1), current))
+            continue
+        if stripped and current is None and not stripped.startswith(";"):
+            raise AsmError(line_no, "content before first block")
+        if current is not None:
+            current.append((line_no, line))
+
+    if not blocks:
+        raise AsmError(0, "no blocks found")
+    program = Program(entry=entry or header_entry or blocks[0][0], name=name)
+    for label, body in blocks:
+        program.add_block(parse_block(body, label))
+    if validate:
+        program.validate()
+    return program

@@ -1,0 +1,392 @@
+"""Fluent construction of valid EDGE blocks.
+
+The builder lets clients (hand-written examples, the mini-compiler, and
+property-based tests) express dataflow directly — *this value feeds that
+operand* — and takes care of the encoding obligations of the ISA:
+
+* instruction IDs are assigned in creation order (program order, which
+  also fixes LSQ sequence numbers for memory operations);
+* fan-out beyond :data:`~repro.isa.block.MAX_TARGETS` consumers is
+  legalized by inserting MOV trees;
+* register reads are deduplicated into the 32-entry read queue;
+* register writes are merged into write-queue slots so that predicated
+  alternative producers share one slot;
+* NULL producers for conditionally-executed writes and stores keep the
+  block's completion contract satisfiable on every path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.isa.block import (
+    Block,
+    BlockError,
+    ReadSlot,
+    WriteSlot,
+    BLOCK_MAX_INSTS,
+    MAX_LSQ_IDS,
+    MAX_READS,
+    MAX_WRITES,
+    MAX_TARGETS,
+    NUM_EXITS,
+)
+from repro.isa.instruction import (
+    Instruction,
+    LabelRef,
+    OperandSlot,
+    Target,
+    TargetKind,
+)
+from repro.isa.opcodes import OPCODES, OpClass, OpSpec
+
+
+class BlockTooLarge(BlockError):
+    """The block exceeds an ISA capacity limit (instructions, reads,
+    writes, or LSQ slots).  The compiler catches this and retries with a
+    smaller unrolling factor."""
+
+
+@dataclass(frozen=True)
+class Port:
+    """Handle to a value producer inside the block under construction.
+
+    ``kind`` is ``"read"`` (read-queue slot), ``"inst"`` (instruction
+    result), or ``"multi"`` (a predicate-merged value with several
+    alternative producers, of which exactly one fires dynamically);
+    ``index`` identifies the slot or instruction node.
+    """
+
+    kind: str
+    index: int = -1
+    parts: tuple["Port", ...] = ()
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Handle to an issued store, used to pair a nullifying producer."""
+
+    node: int
+    lsq_id: int
+
+
+Predicate = Optional[tuple[Port, bool]]
+
+
+@dataclass
+class _Node:
+    """Mutable instruction under construction."""
+
+    op: OpSpec
+    pred: Optional[bool] = None
+    imm: object = None
+    lsq_id: Optional[int] = None
+    exit_id: Optional[int] = None
+    branch_target: Optional[str] = None
+    null_store: bool = False
+    edges: list[tuple[str, int, OperandSlot]] = field(default_factory=list)
+
+
+class BlockBuilder:
+    """Builds one valid :class:`~repro.isa.block.Block`."""
+
+    def __init__(self, label: str, comment: str = "") -> None:
+        self.label = label
+        self.comment = comment
+        self._nodes: list[_Node] = []
+        self._read_slots: list[tuple[int, list]] = []   # (reg, edges)
+        self._read_index: dict[int, int] = {}
+        self._write_slots: list[int] = []               # slot -> reg
+        self._write_index: dict[int, int] = {}
+        self._next_lsq = 0
+        self._used_exits: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Value producers
+    # ------------------------------------------------------------------
+
+    def read(self, reg: int) -> Port:
+        """Inject architectural register ``reg``; deduplicated per register."""
+        slot = self._read_index.get(reg)
+        if slot is None:
+            slot = len(self._read_slots)
+            if slot >= MAX_READS:
+                raise BlockTooLarge(f"{self.label}: more than {MAX_READS} register reads")
+            self._read_slots.append((reg, []))
+            self._read_index[reg] = slot
+        return Port("read", slot)
+
+    def movi(self, value: Union[int, float, LabelRef], pred: Predicate = None) -> Port:
+        """Materialize an immediate (or a block address via LabelRef)."""
+        return self.op("MOVI", imm=value, pred=pred)
+
+    def label_address(self, label: str, pred: Predicate = None) -> Port:
+        """Materialize the address of a block (for link registers)."""
+        return self.movi(LabelRef(label), pred=pred)
+
+    def op(self, name: str, *operands: Port, imm=None, pred: Predicate = None) -> Port:
+        """Emit an ALU/move/test instruction and return its result port."""
+        spec = OPCODES.get(name)
+        if spec is None:
+            raise BlockError(f"{self.label}: unknown opcode {name!r}")
+        if spec.opclass in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.NULL):
+            raise BlockError(f"{self.label}: use the dedicated helper for {name}")
+        if len(operands) != spec.operands:
+            raise BlockError(
+                f"{self.label}: {name} takes {spec.operands} operands, got {len(operands)}")
+        if spec.has_imm and imm is None:
+            raise BlockError(f"{self.label}: {name} requires an immediate")
+        if not spec.has_imm and imm is not None:
+            raise BlockError(f"{self.label}: {name} does not take an immediate")
+        node = self._emit(spec, pred=pred, imm=imm)
+        self._connect_operands(node, operands)
+        return Port("inst", node)
+
+    def mov(self, source: Port, pred: Predicate = None) -> Port:
+        """Explicit MOV (e.g. for predicate-merged values)."""
+        return self.op("MOV", source, pred=pred)
+
+    def phi(self, pred_port: Port, true_value: Port, false_value: Port) -> Port:
+        """Predicate-merge two values: the TRIPS if-conversion idiom.
+
+        Emits one MOV per path, predicated on opposite polarities of
+        ``pred_port``; consumers of the returned multi-port receive the
+        value from whichever MOV fires."""
+        true_mov = self.op("MOV", true_value, pred=(pred_port, True))
+        false_mov = self.op("MOV", false_value, pred=(pred_port, False))
+        return Port("multi", parts=(true_mov, false_mov))
+
+    def load(self, addr: Port, offset: int = 0, op: str = "LDD", pred: Predicate = None) -> Port:
+        """Emit a load; assigns the next LSQ sequence number."""
+        spec = self._memory_spec(op, OpClass.LOAD)
+        node = self._emit(spec, pred=pred, imm=offset, lsq_id=self._take_lsq())
+        self._connect_operands(node, (addr,))
+        return Port("inst", node)
+
+    def store(self, addr: Port, data: Port, offset: int = 0, op: str = "STD",
+              pred: Predicate = None) -> StoreHandle:
+        """Emit a store; assigns the next LSQ sequence number.
+
+        A store issued under a predicate must be paired with a
+        :meth:`null_store` on the complementary path so the block's
+        completion contract holds.
+        """
+        spec = self._memory_spec(op, OpClass.STORE)
+        lsq_id = self._take_lsq()
+        node = self._emit(spec, pred=pred, imm=offset, lsq_id=lsq_id)
+        self._connect_operands(node, (addr, data))
+        return StoreHandle(node, lsq_id)
+
+    def null_store(self, store: StoreHandle, pred: Predicate) -> None:
+        """Resolve a store's LSQ slot with a NULL token on the path where
+        the store does not fire."""
+        if pred is None:
+            raise BlockError(f"{self.label}: null_store must be predicated")
+        node = self._emit(OPCODES["NULL"], pred=pred, lsq_id=store.lsq_id)
+        self._nodes[node].null_store = True
+
+    # ------------------------------------------------------------------
+    # Block outputs
+    # ------------------------------------------------------------------
+
+    def write(self, reg: int, value: Port) -> int:
+        """Route ``value`` to the write-queue slot for register ``reg``.
+
+        Predicated alternative producers for the same register call this
+        repeatedly; they share one slot and exactly one must fire
+        dynamically.  Returns the slot index.
+        """
+        slot = self._write_slot(reg)
+        self._add_edge(value, ("write", slot, OperandSlot.OP0))
+        return slot
+
+    def null_write(self, reg: int, pred: Predicate) -> int:
+        """Resolve register ``reg``'s write slot with NULL on this path."""
+        if pred is None:
+            raise BlockError(f"{self.label}: null_write must be predicated")
+        slot = self._write_slot(reg)
+        node = self._emit(OPCODES["NULL"], pred=pred)
+        self._nodes[node].edges.append(("write", slot, OperandSlot.OP0))
+        return slot
+
+    def branch(self, kind: str, target: Optional[str] = None, exit_id: int = 0,
+               pred: Predicate = None, addr: Optional[Port] = None) -> None:
+        """Emit a block exit.
+
+        Args:
+            kind: ``BRO`` (branch), ``CALLO`` (call), ``RET`` (return via
+                ``addr`` operand) or ``HALT``.
+            target: Static successor label (BRO/CALLO).
+            exit_id: 3-bit exit identifier, unique within the block.
+            pred: Predicate; required when the block has several exits.
+            addr: Target-address port for RET.
+        """
+        spec = OPCODES.get(kind)
+        if spec is None or spec.opclass is not OpClass.BRANCH:
+            raise BlockError(f"{self.label}: {kind!r} is not a branch opcode")
+        if not 0 <= exit_id < NUM_EXITS:
+            raise BlockError(f"{self.label}: exit id {exit_id}")
+        if exit_id in self._used_exits:
+            raise BlockError(f"{self.label}: duplicate exit id {exit_id}")
+        self._used_exits.add(exit_id)
+        node = self._emit(spec, pred=pred)
+        self._nodes[node].exit_id = exit_id
+        self._nodes[node].branch_target = target
+        if kind == "RET":
+            if addr is None:
+                raise BlockError(f"{self.label}: RET requires an address port")
+            self._connect_operands(node, (addr,))
+        elif addr is not None:
+            raise BlockError(f"{self.label}: only RET takes an address port")
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Block:
+        """Legalize fan-out, number instructions, and return the block.
+
+        A builder is single-use: legalization appends MOV nodes, so
+        building twice would duplicate them.
+        """
+        if getattr(self, "_built", False):
+            raise BlockError(f"{self.label}: build() called twice")
+        self._built = True
+        read_targets, node_targets = self._legalize_fanout()
+        if len(self._nodes) > BLOCK_MAX_INSTS:
+            raise BlockTooLarge(
+                f"{self.label}: {len(self._nodes)} instructions after fan-out legalization")
+
+        insts = []
+        for iid, node in enumerate(self._nodes):
+            insts.append(Instruction(
+                iid=iid,
+                op=node.op,
+                targets=tuple(node_targets[iid]),
+                pred=node.pred,
+                imm=node.imm,
+                lsq_id=node.lsq_id,
+                exit_id=node.exit_id,
+                branch_target=node.branch_target,
+                null_store=node.null_store,
+            ))
+        reads = [
+            ReadSlot(index=i, reg=reg, targets=tuple(read_targets[i]))
+            for i, (reg, __) in enumerate(self._read_slots)
+        ]
+        writes = [WriteSlot(index=i, reg=reg) for i, reg in enumerate(self._write_slots)]
+        block = Block(label=self.label, insts=insts, reads=reads, writes=writes,
+                      comment=self.comment)
+        if validate:
+            block.validate()
+        return block
+
+    @property
+    def size(self) -> int:
+        """Instructions emitted so far (before MOV-tree legalization)."""
+        return len(self._nodes)
+
+    @property
+    def lsq_slots_used(self) -> int:
+        return self._next_lsq
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _memory_spec(self, name: str, opclass: OpClass) -> OpSpec:
+        spec = OPCODES.get(name)
+        if spec is None or spec.opclass is not opclass:
+            raise BlockError(f"{self.label}: {name!r} is not a {opclass.value} opcode")
+        return spec
+
+    def _take_lsq(self) -> int:
+        if self._next_lsq >= MAX_LSQ_IDS:
+            raise BlockTooLarge(f"{self.label}: more than {MAX_LSQ_IDS} memory operations")
+        lsq_id = self._next_lsq
+        self._next_lsq += 1
+        return lsq_id
+
+    def _write_slot(self, reg: int) -> int:
+        slot = self._write_index.get(reg)
+        if slot is None:
+            slot = len(self._write_slots)
+            if slot >= MAX_WRITES:
+                raise BlockTooLarge(f"{self.label}: more than {MAX_WRITES} register writes")
+            self._write_slots.append(reg)
+            self._write_index[reg] = slot
+        return slot
+
+    def _emit(self, spec: OpSpec, pred: Predicate = None, imm=None,
+              lsq_id: Optional[int] = None) -> int:
+        node = _Node(op=spec, imm=imm, lsq_id=lsq_id)
+        index = len(self._nodes)
+        self._nodes.append(node)
+        if pred is not None:
+            port, polarity = pred
+            node.pred = bool(polarity)
+            self._add_edge(port, ("inst", index, OperandSlot.PRED))
+        return index
+
+    def _connect_operands(self, node: int, operands: tuple[Port, ...]) -> None:
+        slots = (OperandSlot.OP0, OperandSlot.OP1)
+        for i, port in enumerate(operands):
+            self._add_edge(port, ("inst", node, slots[i]))
+
+    def _add_edge(self, port: Port, edge: tuple[str, int, OperandSlot]) -> None:
+        if port.kind == "read":
+            self._read_slots[port.index][1].append(edge)
+        elif port.kind == "inst":
+            self._nodes[port.index].edges.append(edge)
+        elif port.kind == "multi":
+            # Every alternative producer targets the consumer; exactly
+            # one fires dynamically, so the operand arrives once.
+            for part in port.parts:
+                self._add_edge(part, edge)
+        else:
+            raise BlockError(f"{self.label}: bad port {port!r}")
+
+    def _legalize_fanout(self) -> tuple[list[list[Target]], list[list[Target]]]:
+        """Replace >MAX_TARGETS fan-out with MOV trees.
+
+        Returns ``(read_targets, node_targets)``: the final
+        :class:`Target` lists for each read slot and each instruction
+        node.  New MOV nodes may be appended to ``self._nodes``.
+        """
+
+        def reduce_edges(edges: list) -> list:
+            """Return <= MAX_TARGETS edges, inserting MOVs as needed."""
+            while len(edges) > MAX_TARGETS:
+                # Chunks of MAX_TARGETS edges per MOV keep tree depth
+                # logarithmic in the fan-out degree.
+                groups = [edges[i:i + MAX_TARGETS] for i in range(0, len(edges), MAX_TARGETS)]
+                edges = []
+                for group in groups:
+                    if len(group) == 1:
+                        edges.append(group[0])
+                    else:
+                        mov = _Node(op=OPCODES["MOV"])
+                        mov.edges = list(group)
+                        self._nodes.append(mov)
+                        edges.append(("inst", len(self._nodes) - 1, OperandSlot.OP0))
+            return edges
+
+        read_edges = [reduce_edges(list(edges)) for (__, edges) in self._read_slots]
+        # New MOVs appended during iteration are visited too; a MOV
+        # created by reduce_edges always has <= MAX_TARGETS edges already.
+        index = 0
+        while index < len(self._nodes):
+            node = self._nodes[index]
+            node.edges = reduce_edges(node.edges)
+            index += 1
+
+        def to_target(edge: tuple[str, int, OperandSlot]) -> Target:
+            kind, target_index, slot = edge
+            if kind == "write":
+                return Target(TargetKind.WRITE, target_index)
+            return Target(TargetKind.INST, target_index, slot)
+
+        read_targets = [[to_target(e) for e in edges] for edges in read_edges]
+        node_targets = [[to_target(e) for e in node.edges] for node in self._nodes]
+        return read_targets, node_targets

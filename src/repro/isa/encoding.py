@@ -1,0 +1,235 @@
+"""Binary encoding of EDGE blocks (TRIPS-style instruction formats).
+
+Instructions encode to 64 bits (the TRIPS prototype used 32-bit
+instructions with compact immediate/target fields; this model widens
+fields rather than splitting instructions so that 64-bit immediates
+survive a round trip, keeping the *structure* — opcode, predicate,
+two 9-bit dataflow targets, LSQ/exit metadata — faithful).
+
+Layout (low to high bits):
+
+=====  ==========================================================
+0-8    opcode index (stable table order)
+9-10   predicate: 0 = none, 1 = on true, 2 = on false
+11-19  target 0 (9-bit :meth:`Target.encode`), 0x1FF = unused
+20-28  target 1, 0x1FF = unused
+29-33  LSQ id (0x1F = none)
+34-36  exit id (branches; 7 = none)
+37     null-store flag
+38-63  branch-target block index + 1 (0 = none)
+=====  ==========================================================
+
+Immediates ride in a trailing 64-bit word when the immediate-present
+bit of the header is set.  A block encodes as a header (label, counts,
+read/write specs) plus its instruction stream; :func:`decode_block`
+inverts :func:`encode_block` exactly, which the tests check by
+structural round-trip over every workload in the suite.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.isa.block import Block, ReadSlot, WriteSlot
+from repro.isa.instruction import Instruction, LabelRef, Target
+from repro.isa.opcodes import OPCODES
+
+
+#: Stable opcode numbering.
+OPCODE_INDEX = {name: i for i, name in enumerate(sorted(OPCODES))}
+INDEX_OPCODE = {i: name for name, i in OPCODE_INDEX.items()}
+
+_NO_TARGET = 0x1FF
+_NO_LSQ = 0x1F
+_NO_EXIT = 0x7
+
+
+class EncodingError(Exception):
+    """Malformed binary block image."""
+
+
+def _pack_target(target: Optional[Target]) -> int:
+    return _NO_TARGET if target is None else target.encode()
+
+
+def encode_instruction(inst: Instruction, block_index_of) -> bytes:
+    """Encode one instruction (plus an immediate word when present)."""
+    word = OPCODE_INDEX[inst.op.name]
+    pred = 0 if inst.pred is None else (1 if inst.pred else 2)
+    word |= pred << 9
+    targets = list(inst.targets) + [None, None]
+    word |= _pack_target(targets[0]) << 11
+    word |= _pack_target(targets[1]) << 20
+    word |= (inst.lsq_id if inst.lsq_id is not None else _NO_LSQ) << 29
+    word |= (inst.exit_id if inst.exit_id is not None else _NO_EXIT) << 34
+    word |= int(inst.null_store) << 37
+    if inst.branch_target is not None:
+        word |= (block_index_of(inst.branch_target) + 1) << 38
+
+    has_imm = inst.imm is not None
+    out = struct.pack("<QB", word, int(has_imm))
+    if has_imm:
+        out += _encode_imm(inst.imm, block_index_of)
+    return out
+
+
+def _encode_imm(imm, block_index_of) -> bytes:
+    if isinstance(imm, LabelRef):
+        return struct.pack("<Bq", 2, block_index_of(imm.label))
+    if isinstance(imm, float):
+        return struct.pack("<Bd", 1, imm)
+    return struct.pack("<Bq", 0, int(imm))
+
+
+def decode_instruction(raw: bytes, offset: int, iid: int,
+                       label_of) -> tuple[Instruction, int]:
+    """Decode one instruction; returns (instruction, next offset)."""
+    word, has_imm = struct.unpack_from("<QB", raw, offset)
+    offset += 9
+    imm = None
+    if has_imm:
+        kind, = struct.unpack_from("<B", raw, offset)
+        if kind == 1:
+            imm, = struct.unpack_from("<d", raw, offset + 1)
+        elif kind == 2:
+            index, = struct.unpack_from("<q", raw, offset + 1)
+            imm = LabelRef(label_of(index))
+        else:
+            imm, = struct.unpack_from("<q", raw, offset + 1)
+        offset += 9
+
+    opcode = INDEX_OPCODE.get(word & 0x1FF)
+    if opcode is None:
+        raise EncodingError(f"unknown opcode index {word & 0x1FF}")
+    pred_bits = (word >> 9) & 0x3
+    pred = None if pred_bits == 0 else (pred_bits == 1)
+    targets = []
+    for shift in (11, 20):
+        bits = (word >> shift) & 0x1FF
+        if bits != _NO_TARGET:
+            targets.append(Target.decode(bits))
+    lsq = (word >> 29) & 0x1F
+    exit_id = (word >> 34) & 0x7
+    branch_index = word >> 38
+
+    return Instruction(
+        iid=iid,
+        op=OPCODES[opcode],
+        targets=tuple(targets),
+        pred=pred,
+        imm=imm,
+        lsq_id=None if lsq == _NO_LSQ else lsq,
+        exit_id=None if exit_id == _NO_EXIT else exit_id,
+        branch_target=None if branch_index == 0 else label_of(branch_index - 1),
+        null_store=bool((word >> 37) & 1),
+    ), offset
+
+
+def encode_block(block: Block, block_index_of) -> bytes:
+    """Encode a block: header (reads/writes) + instruction stream."""
+    label_bytes = block.label.encode()
+    out = struct.pack("<H", len(label_bytes)) + label_bytes
+    out += struct.pack("<BBB", len(block.reads), len(block.writes),
+                       len(block.insts))
+    for read in block.reads:
+        targets = list(read.targets) + [None, None]
+        out += struct.pack("<BHH", read.reg,
+                           _pack_target(targets[0]), _pack_target(targets[1]))
+    for wslot in block.writes:
+        out += struct.pack("<B", wslot.reg)
+    for inst in block.insts:
+        out += encode_instruction(inst, block_index_of)
+    return out
+
+
+def decode_block(raw: bytes, offset: int, label_of) -> tuple[Block, int]:
+    """Inverse of :func:`encode_block`."""
+    label_len, = struct.unpack_from("<H", raw, offset)
+    offset += 2
+    label = raw[offset:offset + label_len].decode()
+    offset += label_len
+    nreads, nwrites, ninsts, = struct.unpack_from("<BBB", raw, offset)
+    offset += 3
+
+    reads = []
+    for index in range(nreads):
+        reg, t0, t1 = struct.unpack_from("<BHH", raw, offset)
+        offset += 5
+        targets = tuple(Target.decode(t) for t in (t0, t1) if t != _NO_TARGET)
+        reads.append(ReadSlot(index=index, reg=reg, targets=targets))
+    writes = []
+    for index in range(nwrites):
+        reg, = struct.unpack_from("<B", raw, offset)
+        offset += 1
+        writes.append(WriteSlot(index=index, reg=reg))
+    insts = []
+    for iid in range(ninsts):
+        inst, offset = decode_instruction(raw, offset, iid, label_of)
+        insts.append(inst)
+    return Block(label=label, insts=insts, reads=reads, writes=writes), offset
+
+
+def encode_program(program) -> bytes:
+    """Encode a whole program: magic, entry, block directory, blocks.
+
+    The data segment and register initialization are not part of the
+    code image (they belong to the loader), mirroring how TRIPS block
+    binaries separate text from data.
+    """
+    index_of = {label: i for i, label in enumerate(program.order)}
+    out = b"EDGE"
+    entry = program.entry.encode()
+    out += struct.pack("<H", len(entry)) + entry
+    out += struct.pack("<I", len(program.order))
+    for label in program.order:
+        out += encode_block(program.blocks[label],
+                            lambda lb: index_of[lb])
+    return out
+
+
+def decode_program(raw: bytes):
+    """Inverse of :func:`encode_program` (labels resolved in two passes)."""
+    from repro.isa.program import Program
+
+    if raw[:4] != b"EDGE":
+        raise EncodingError("bad magic")
+    offset = 4
+    entry_len, = struct.unpack_from("<H", raw, offset)
+    offset += 2
+    entry = raw[offset:offset + entry_len].decode()
+    offset += entry_len
+    nblocks, = struct.unpack_from("<I", raw, offset)
+    offset += 4
+
+    # First pass: block labels appear in order, so decode with an
+    # index->label map built lazily from a pre-scan.
+    labels = _scan_labels(raw, offset, nblocks)
+
+    def label_of(index: int) -> str:
+        try:
+            return labels[index]
+        except IndexError:
+            raise EncodingError(f"block index {index} out of range") from None
+
+    program = Program(entry=entry)
+    for __ in range(nblocks):
+        block, offset = decode_block(raw, offset, label_of)
+        program.add_block(block)
+    return program
+
+
+def _scan_labels(raw: bytes, offset: int, nblocks: int) -> list[str]:
+    """Pre-scan the image collecting block labels without full decode."""
+    labels = []
+    for __ in range(nblocks):
+        label_len, = struct.unpack_from("<H", raw, offset)
+        offset += 2
+        labels.append(raw[offset:offset + label_len].decode())
+        offset += label_len
+        nreads, nwrites, ninsts = struct.unpack_from("<BBB", raw, offset)
+        offset += 3 + nreads * 5 + nwrites
+        for __i in range(ninsts):
+            __word, has_imm = struct.unpack_from("<QB", raw, offset)
+            offset += 9 + (9 if has_imm else 0)
+    return labels

@@ -1,0 +1,165 @@
+"""Instruction and dataflow-target representation for the EDGE ISA.
+
+Each EDGE instruction explicitly encodes *where its result goes* instead of
+writing a named register (paper section 3).  A target is nine bits in the
+TRIPS encoding: two bits select the operand slot of the consumer
+(left/right/predicate) and seven bits select one of the 128 instructions
+in the block.  Register-write slots form a second, parallel target space
+(the block's write queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+from repro.isa.opcodes import OpSpec, OpClass
+
+
+class TargetKind(Enum):
+    """What a dataflow target points at."""
+
+    INST = "inst"    # an operand slot of another instruction in the block
+    WRITE = "write"  # a register-write queue slot of the block
+
+
+class OperandSlot(Enum):
+    """Operand slot of a consuming instruction (2 bits of the target)."""
+
+    PRED = 0   # predicate operand
+    OP0 = 1    # left operand
+    OP1 = 2    # right operand
+
+
+@dataclass(frozen=True)
+class Target:
+    """One dataflow target: consumer coordinates within the block.
+
+    For ``kind == INST``, ``index`` is the consumer instruction ID
+    (0..127) and ``slot`` selects its operand.  For ``kind == WRITE``,
+    ``index`` is the register-write queue slot (0..31) and ``slot`` is
+    ignored.
+    """
+
+    kind: TargetKind
+    index: int
+    slot: OperandSlot = OperandSlot.OP0
+
+    def encode(self) -> int:
+        """Pack into the 9-bit TRIPS-style target encoding.
+
+        The top two bits select the operand slot (0 = predicate,
+        1 = left, 2 = right) with code 3 reserved for register-write
+        queue targets; the low seven bits select the instruction ID or
+        write-queue slot.
+        """
+        if self.kind is TargetKind.WRITE:
+            return (3 << 7) | (self.index & 0x7F)
+        return (self.slot.value << 7) | (self.index & 0x7F)
+
+    @staticmethod
+    def decode(bits: int) -> "Target":
+        """Inverse of :meth:`encode`."""
+        code = (bits >> 7) & 0x3
+        index = bits & 0x7F
+        if code == 3:
+            return Target(TargetKind.WRITE, index)
+        return Target(TargetKind.INST, index, OperandSlot(code))
+
+    def __repr__(self) -> str:
+        if self.kind is TargetKind.WRITE:
+            return f"W{self.index}"
+        slot = {OperandSlot.PRED: "p", OperandSlot.OP0: "l", OperandSlot.OP1: "r"}[self.slot]
+        return f"I{self.index}.{slot}"
+
+
+#: Immediate values may be plain numbers or (for MOVI of code addresses)
+#: a symbolic label reference resolved at program link time.
+@dataclass(frozen=True)
+class LabelRef:
+    """Symbolic reference to a block address, resolved at link time."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f"&{self.label}"
+
+
+Immediate = Union[int, float, LabelRef, None]
+
+
+@dataclass
+class Instruction:
+    """One EDGE instruction within a block.
+
+    Attributes:
+        iid: Instruction ID, 0..127; equals the instruction's index in
+            the block's instruction list and determines which core
+            executes it under the composition interleaving hash.
+        op: Opcode spec.
+        targets: Dataflow targets of the result (at most
+            :data:`repro.isa.block.MAX_TARGETS`).
+        pred: ``None`` for unpredicated, else the required predicate
+            token value (``True`` fires on 1, ``False`` fires on 0).
+        imm: Immediate field for ``*I`` forms and memory offsets.
+        lsq_id: Load/store-queue sequence number (0..31) for memory
+            operations and store-nullifying NULLs; program order within
+            the block.
+        exit_id: 3-bit exit identifier for branch opcodes; feeds the
+            exit-history-based next-block predictor.
+        branch_target: Static successor label for BRO/CALLO.
+        null_store: True for NULL instructions that nullify an LSQ slot
+            rather than register-write slots.
+    """
+
+    iid: int
+    op: OpSpec
+    targets: tuple[Target, ...] = ()
+    pred: Optional[bool] = None
+    imm: Immediate = None
+    lsq_id: Optional[int] = None
+    exit_id: Optional[int] = None
+    branch_target: Optional[str] = None
+    null_store: bool = False
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.opclass is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.opclass is OpClass.STORE
+
+    @property
+    def is_null(self) -> bool:
+        return self.op.opclass is OpClass.NULL
+
+    @property
+    def num_operands(self) -> int:
+        """Number of non-predicate dataflow operands this instruction awaits."""
+        return self.op.operands
+
+    def describe(self) -> str:
+        """Human-readable one-line disassembly."""
+        parts = [f"I{self.iid:<3} {self.op.name:<6}"]
+        if self.pred is not None:
+            parts.append(f"<{'p' if self.pred else '!p'}>")
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.lsq_id is not None:
+            parts.append(f"[lsq {self.lsq_id}]")
+        if self.exit_id is not None:
+            parts.append(f"[exit {self.exit_id}]")
+        if self.branch_target is not None:
+            parts.append(f"-> {self.branch_target}")
+        if self.targets:
+            parts.append("=> " + ", ".join(repr(t) for t in self.targets))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"

@@ -1,0 +1,325 @@
+"""Golden-model interpreter for EDGE programs.
+
+Executes programs block-atomically and sequentially — the architectural
+semantics the distributed TFlex microarchitecture must preserve.  The
+cycle-level simulator is validated against this model: after any run,
+registers, memory, and the dynamic block path must match.
+
+Within a block, instructions fire in dataflow order.  Memory operations
+respect LSQ sequence numbers: a load may fire only once every older
+store slot in the block has *resolved* (a store or NULL token fired for
+it), and it forwards from the youngest older matching in-block store.
+Stores take architectural effect at block commit, in LSQ order.
+
+The interpreter also enforces the dynamic half of the block contract:
+exactly one branch fires, every declared write and store slot resolves,
+and no slot resolves twice.  Violations raise :class:`InterpError` —
+they indicate compiler or builder bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.block import Block
+from repro.isa.instruction import Instruction, OperandSlot, Target, TargetKind
+from repro.isa.opcodes import OpClass, evaluate, memory_size
+from repro.isa.program import HALT_ADDR, Program
+from repro.mem.flatmem import FlatMemory
+
+
+class InterpError(Exception):
+    """Dynamic violation of the block-atomic execution contract."""
+
+
+class _NullToken:
+    """Dataflow token that nullifies a block output."""
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+NULL_TOKEN = _NullToken()
+
+
+@dataclass
+class BlockOutcome:
+    """Architectural effects of one dynamic block execution."""
+
+    label: str
+    exit_id: int
+    next_addr: int
+    insts_fired: int
+    writes: dict[int, object] = field(default_factory=dict)   # reg -> value
+    stores: list[tuple[int, int, int, object, bool]] = field(default_factory=list)
+    loads: int = 0
+
+
+@dataclass
+class InterpResult:
+    """Summary of a program run."""
+
+    blocks_executed: int
+    insts_fired: int
+    loads: int = 0
+    stores: int = 0
+    halted: bool = False
+    path: Optional[list[tuple[str, int, int]]] = None   # (label, exit_id, next_addr)
+
+
+class Interpreter:
+    """Sequential block-atomic executor (the golden model)."""
+
+    def __init__(self, program: Program, memory: Optional[FlatMemory] = None,
+                 validate: bool = True) -> None:
+        if validate:
+            program.validate()
+        self.program = program
+        self.mem = memory if memory is not None else FlatMemory()
+        self.mem.load_image(program.data)
+        self.regs: list = [0] * 128
+        for reg, value in program.reg_init.items():
+            self.regs[reg] = value
+
+    # ------------------------------------------------------------------
+    # Whole-program execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_blocks: int = 1_000_000, record_path: bool = False) -> InterpResult:
+        """Execute from the entry block until HALT or the block budget."""
+        result = InterpResult(blocks_executed=0, insts_fired=0,
+                              path=[] if record_path else None)
+        addr = self.program.address_of(self.program.entry)
+        while addr != HALT_ADDR:
+            if result.blocks_executed >= max_blocks:
+                raise InterpError(f"block budget exhausted ({max_blocks})")
+            block = self.program.block_at(addr)
+            outcome = self.execute_block(block)
+            self._commit(outcome)
+            result.blocks_executed += 1
+            result.insts_fired += outcome.insts_fired
+            result.loads += outcome.loads
+            result.stores += sum(1 for s in outcome.stores)
+            if result.path is not None:
+                result.path.append((block.label, outcome.exit_id, outcome.next_addr))
+            addr = outcome.next_addr
+        result.halted = True
+        return result
+
+    def _commit(self, outcome: BlockOutcome) -> None:
+        for reg, value in outcome.writes.items():
+            self.regs[reg] = value
+        for __lsq_id, addr, size, value, fp in outcome.stores:
+            self.mem.store(addr, size, value, fp=fp)
+
+    # ------------------------------------------------------------------
+    # Single-block dataflow execution
+    # ------------------------------------------------------------------
+
+    def execute_block(self, block: Block) -> BlockOutcome:
+        """Run one block to completion against current architectural state.
+
+        Architectural state is *not* modified; the caller commits the
+        returned outcome (mirroring the microarchitecture, where commit
+        is a separate protocol phase).
+        """
+        insts = block.insts
+        n = len(insts)
+        operands: list[dict[OperandSlot, object]] = [dict() for __ in range(n)]
+        fired = [False] * n
+        squashed = [False] * n
+
+        store_slots = block.store_ids
+        resolved_slots: set[int] = set()
+        # In-block store data for load forwarding: lsq_id -> (addr, size, value, fp)
+        block_stores: dict[int, tuple[int, int, object, bool]] = {}
+        write_values: dict[int, object] = {}
+        branch_fired: Optional[Instruction] = None
+        next_addr: Optional[int] = None
+        counters = {"fired": 0, "loads": 0}
+
+        waiting_loads: list[int] = []
+        ready: list[int] = []
+
+        def deliver(target: Target, value: object) -> None:
+            if target.kind is TargetKind.WRITE:
+                if target.index in write_values:
+                    raise InterpError(
+                        f"{block.label}: write slot {target.index} produced twice")
+                write_values[target.index] = value
+                return
+            slot_map = operands[target.index]
+            if target.slot in slot_map:
+                raise InterpError(
+                    f"{block.label}: I{target.index} operand {target.slot.name} delivered twice")
+            slot_map[target.slot] = value
+            consider(target.index)
+
+        def consider(iid: int) -> None:
+            if fired[iid] or squashed[iid]:
+                return
+            inst = insts[iid]
+            slot_map = operands[iid]
+            if inst.pred is not None:
+                pred_value = slot_map.get(OperandSlot.PRED)
+                if pred_value is None:
+                    return
+                if bool(pred_value) != inst.pred:
+                    squashed[iid] = True
+                    return
+            for slot_no in range(inst.num_operands):
+                slot = OperandSlot.OP0 if slot_no == 0 else OperandSlot.OP1
+                if slot not in slot_map:
+                    return
+            if inst.is_load:
+                waiting_loads.append(iid)
+                try_loads()
+            else:
+                ready.append(iid)
+
+        def older_stores_resolved(lsq_id: int) -> bool:
+            return all(s in resolved_slots for s in store_slots if s < lsq_id)
+
+        def try_loads() -> None:
+            still = []
+            for iid in waiting_loads:
+                if fired[iid]:
+                    continue
+                if older_stores_resolved(insts[iid].lsq_id):
+                    ready.append(iid)
+                else:
+                    still.append(iid)
+            waiting_loads[:] = still
+
+        def fire(iid: int) -> None:
+            nonlocal branch_fired, next_addr
+            inst = insts[iid]
+            fired[iid] = True
+            counters["fired"] += 1
+            slot_map = operands[iid]
+            ops = tuple(
+                slot_map[OperandSlot.OP0 if i == 0 else OperandSlot.OP1]
+                for i in range(inst.num_operands)
+            )
+            opclass = inst.op.opclass
+
+            if opclass is OpClass.BRANCH:
+                if branch_fired is not None:
+                    raise InterpError(
+                        f"{block.label}: second branch I{iid} fired (first was I{branch_fired.iid})")
+                branch_fired = inst
+                next_addr = self._branch_target(block, inst, ops)
+                return
+
+            if opclass is OpClass.NULL:
+                if inst.null_store:
+                    resolve_store(inst.lsq_id)
+                for target in inst.targets:
+                    deliver(target, NULL_TOKEN)
+                return
+
+            if opclass is OpClass.STORE:
+                addr = int(ops[0]) + int(inst.imm or 0)
+                size = memory_size(inst.op)
+                fp = inst.op.name.endswith("F")
+                block_stores[inst.lsq_id] = (addr, size, ops[1], fp)
+                resolve_store(inst.lsq_id)
+                return
+
+            if opclass is OpClass.LOAD:
+                addr = int(ops[0]) + int(inst.imm or 0)
+                size = memory_size(inst.op)
+                fp = inst.op.name.endswith("F")
+                value = self._load_with_forwarding(
+                    block, inst.lsq_id, block_stores, addr, size, fp)
+                counters["loads"] += 1
+                for target in inst.targets:
+                    deliver(target, value)
+                return
+
+            imm = self.program.resolve_imm(inst.imm)
+            value = evaluate(inst.op, ops, imm)
+            for target in inst.targets:
+                deliver(target, value)
+
+        def resolve_store(lsq_id: int) -> None:
+            if lsq_id in resolved_slots:
+                raise InterpError(f"{block.label}: LSQ slot {lsq_id} resolved twice")
+            resolved_slots.add(lsq_id)
+            try_loads()
+
+        # Seed: register reads and operand-free instructions.
+        for read in block.reads:
+            for target in read.targets:
+                deliver(target, self.regs[read.reg])
+        for inst in insts:
+            if inst.num_operands == 0 and inst.pred is None:
+                ready.append(inst.iid)
+
+        while ready:
+            iid = ready.pop()
+            if not fired[iid]:
+                fire(iid)
+
+        return self._check_outcome(block, branch_fired, next_addr, write_values,
+                                   block_stores, resolved_slots, counters)
+
+    def _branch_target(self, block: Block, inst: Instruction, ops: tuple) -> int:
+        name = inst.op.name
+        if name == "HALT":
+            return HALT_ADDR
+        if name == "RET":
+            return int(ops[0])
+        return self.program.address_of(inst.branch_target)
+
+    def _load_with_forwarding(self, block: Block, lsq_id: int,
+                              block_stores: dict, addr: int, size: int, fp: bool):
+        best = None
+        for sid, (saddr, ssize, svalue, sfp) in block_stores.items():
+            if sid >= lsq_id:
+                continue
+            if saddr == addr and ssize == size:
+                if best is None or sid > best[0]:
+                    best = (sid, svalue, sfp)
+            elif saddr < addr + size and addr < saddr + ssize:
+                raise InterpError(
+                    f"{block.label}: load lsq {lsq_id} partially overlaps store lsq {sid} "
+                    f"({addr:#x}/{size} vs {saddr:#x}/{ssize})")
+        if best is not None:
+            __, svalue, sfp = best
+            if sfp != fp:
+                raise InterpError(
+                    f"{block.label}: load lsq {lsq_id} forwards across int/fp type change")
+            return svalue
+        return self.mem.load(addr, size, fp=fp)
+
+    def _check_outcome(self, block: Block, branch_fired, next_addr, write_values,
+                       block_stores, resolved_slots, counters) -> BlockOutcome:
+        if branch_fired is None:
+            raise InterpError(f"{block.label}: dataflow quiesced without a branch firing")
+        missing_writes = [w.index for w in block.writes if w.index not in write_values]
+        if missing_writes:
+            raise InterpError(f"{block.label}: write slots {missing_writes} never resolved")
+        missing_stores = sorted(block.store_ids - resolved_slots)
+        if missing_stores:
+            raise InterpError(f"{block.label}: store slots {missing_stores} never resolved")
+
+        writes = {}
+        for wslot in block.writes:
+            value = write_values[wslot.index]
+            if value is not NULL_TOKEN:
+                writes[wslot.reg] = value
+        stores = [
+            (lsq_id, addr, size, value, fp)
+            for lsq_id, (addr, size, value, fp) in sorted(block_stores.items())
+        ]
+        return BlockOutcome(
+            label=block.label,
+            exit_id=branch_fired.exit_id,
+            next_addr=next_addr,
+            insts_fired=counters["fired"],
+            writes=writes,
+            stores=stores,
+            loads=counters["loads"],
+        )

@@ -1,0 +1,270 @@
+"""Opcode definitions and evaluation semantics for the EDGE ISA.
+
+Opcode semantics live here, in one place, so that the golden-model
+interpreter (:mod:`repro.isa.interp`) and the cycle-level simulator
+(:mod:`repro.tflex`) are guaranteed to compute identical values.
+
+Integer values are 64-bit two's complement; floating point values are
+IEEE-754 doubles (Python floats).  The :func:`evaluate` function is the
+single entry point for executing an opcode on operand values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util import INT_MAX, INT_MIN, wrap64
+
+_WRAP = 1 << 64
+
+
+class OpClass(Enum):
+    """Functional-unit class of an opcode.
+
+    The class determines which issue slot an instruction competes for
+    (TFlex cores issue up to two INT-class and one FP-class instruction
+    per cycle) and which latency table applies.
+    """
+
+    INT = "int"          # single-cycle integer ALU
+    IMUL = "imul"        # integer multiply
+    IDIV = "idiv"        # integer divide / modulo
+    FP = "fp"            # floating-point add/convert class
+    FMUL = "fmul"        # floating-point multiply
+    FDIV = "fdiv"        # floating-point divide / sqrt
+    LOAD = "load"        # memory read (address generation)
+    STORE = "store"      # memory write (address/data merge)
+    BRANCH = "branch"    # block exit
+    NULL = "null"        # output nullification token
+    MOVE = "move"        # operand fan-out
+    TEST = "test"        # predicate-producing comparison
+
+
+# Classes that issue on the floating-point pipe of a core.
+FP_CLASSES = frozenset({OpClass.FP, OpClass.FMUL, OpClass.FDIV})
+
+# Branch kinds, stored in Instruction.imm-adjacent metadata.
+BRANCH_KINDS = ("BRO", "CALLO", "RET", "HALT")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    Attributes:
+        name: Mnemonic, e.g. ``"ADDI"``.
+        opclass: Functional-unit class.
+        operands: Number of dataflow operands consumed (0, 1 or 2),
+            excluding the optional predicate operand.
+        has_imm: Whether the instruction carries an immediate field.
+        latency: Execution latency in cycles (cache latency for memory
+            operations is modelled separately by the memory system).
+    """
+
+    name: str
+    opclass: OpClass
+    operands: int
+    has_imm: bool
+    latency: int
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opclass in FP_CLASSES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in (OpClass.LOAD, OpClass.STORE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"OpSpec({self.name})"
+
+
+def _binops() -> dict[str, tuple[OpClass, int]]:
+    """Two-operand integer opcodes: name -> (class, latency)."""
+    table = {}
+    for name in ("ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "SRA"):
+        table[name] = (OpClass.INT, 1)
+    table["MUL"] = (OpClass.IMUL, 3)
+    table["DIV"] = (OpClass.IDIV, 12)
+    table["MOD"] = (OpClass.IDIV, 12)
+    return table
+
+
+def _testops() -> tuple[str, ...]:
+    return ("TEQ", "TNE", "TLT", "TLE", "TGT", "TGE")
+
+
+def _build_opcodes() -> dict[str, OpSpec]:
+    ops: dict[str, OpSpec] = {}
+
+    def add(name: str, opclass: OpClass, operands: int, has_imm: bool, latency: int) -> None:
+        ops[name] = OpSpec(name, opclass, operands, has_imm, latency)
+
+    # Integer register-register and register-immediate arithmetic.
+    for name, (opclass, lat) in _binops().items():
+        add(name, opclass, 2, False, lat)
+        add(name + "I", opclass, 1, True, lat)
+
+    # One-operand integer ops.
+    add("NOT", OpClass.INT, 1, False, 1)
+    add("NEG", OpClass.INT, 1, False, 1)
+
+    # Predicate-producing tests (result is 0/1, usable as data too).
+    for name in _testops():
+        add(name, OpClass.TEST, 2, False, 1)
+        add(name + "I", OpClass.TEST, 1, True, 1)
+    # Floating-point tests.
+    for name in ("FTEQ", "FTLT", "FTLE"):
+        add(name, OpClass.TEST, 2, False, 2)
+
+    # Floating point.
+    add("FADD", OpClass.FP, 2, False, 4)
+    add("FSUB", OpClass.FP, 2, False, 4)
+    add("FMUL", OpClass.FMUL, 2, False, 4)
+    add("FDIV", OpClass.FDIV, 2, False, 16)
+    add("FSQRT", OpClass.FDIV, 1, False, 16)
+    add("FABS", OpClass.FP, 1, False, 2)
+    add("FNEG", OpClass.FP, 1, False, 2)
+    add("ITOF", OpClass.FP, 1, False, 2)
+    add("FTOI", OpClass.FP, 1, False, 2)
+
+    # Operand movement.
+    add("MOV", OpClass.MOVE, 1, False, 1)
+    add("MOVI", OpClass.MOVE, 0, True, 1)
+
+    # Memory.  LD: operand 0 = base address, imm = offset.
+    # ST: operand 0 = address, operand 1 = data, imm = offset.
+    # Integer loads zero-extend (B/H/W) or are full signed 64-bit (D);
+    # LDF/STF move IEEE-754 doubles.
+    for suffix in ("B", "H", "W", "D", "F"):
+        add("LD" + suffix, OpClass.LOAD, 1, True, 1)
+        add("ST" + suffix, OpClass.STORE, 2, True, 1)
+
+    # Branches.  BRO/CALLO carry a static target label; RET takes the
+    # target address as operand 0; HALT ends the program.
+    add("BRO", OpClass.BRANCH, 0, False, 1)
+    add("CALLO", OpClass.BRANCH, 0, False, 1)
+    add("RET", OpClass.BRANCH, 1, False, 1)
+    add("HALT", OpClass.BRANCH, 0, False, 1)
+
+    # Output nullification (paper section 4.6 completion contract):
+    # produces a "null" token for a register-write slot or a store
+    # LSQ slot on the predicate path where the real producer is squashed.
+    add("NULL", OpClass.NULL, 0, False, 1)
+
+    return ops
+
+
+OPCODES: dict[str, OpSpec] = _build_opcodes()
+
+#: Memory access size in bytes for LD*/ST* opcodes.
+MEMORY_SIZES = {"B": 1, "H": 2, "W": 4, "D": 8, "F": 8}
+
+
+def memory_size(op: OpSpec) -> int:
+    """Access size in bytes of a load/store opcode."""
+    if not op.is_memory:
+        raise ValueError(f"{op.name} is not a memory opcode")
+    return MEMORY_SIZES[op.name[-1]]
+
+
+def _shift_amount(value: int) -> int:
+    return value & 63
+
+
+def _to_unsigned(value: int) -> int:
+    return value % _WRAP
+
+
+_INT_FUNCS = {
+    "ADD": lambda a, b: wrap64(a + b),
+    "SUB": lambda a, b: wrap64(a - b),
+    "MUL": lambda a, b: wrap64(a * b),
+    "DIV": lambda a, b: 0 if b == 0 else wrap64(int(a / b)),
+    "MOD": lambda a, b: 0 if b == 0 else wrap64(a - int(a / b) * b),
+    "AND": lambda a, b: wrap64(a & b),
+    "OR": lambda a, b: wrap64(a | b),
+    "XOR": lambda a, b: wrap64(a ^ b),
+    "SHL": lambda a, b: wrap64(a << _shift_amount(b)),
+    "SHR": lambda a, b: wrap64(_to_unsigned(a) >> _shift_amount(b)),
+    "SRA": lambda a, b: wrap64(a >> _shift_amount(b)),
+}
+
+_TEST_FUNCS = {
+    "TEQ": lambda a, b: int(a == b),
+    "TNE": lambda a, b: int(a != b),
+    "TLT": lambda a, b: int(a < b),
+    "TLE": lambda a, b: int(a <= b),
+    "TGT": lambda a, b: int(a > b),
+    "TGE": lambda a, b: int(a >= b),
+    "FTEQ": lambda a, b: int(float(a) == float(b)),
+    "FTLT": lambda a, b: int(float(a) < float(b)),
+    "FTLE": lambda a, b: int(float(a) <= float(b)),
+}
+
+_FP_FUNCS = {
+    "FADD": lambda a, b: float(a) + float(b),
+    "FSUB": lambda a, b: float(a) - float(b),
+    "FMUL": lambda a, b: float(a) * float(b),
+    "FDIV": lambda a, b: math.inf if float(b) == 0.0 else float(a) / float(b),
+}
+
+_FP_UNARY = {
+    "FSQRT": lambda a: math.sqrt(float(a)) if float(a) >= 0.0 else math.nan,
+    "FABS": lambda a: abs(float(a)),
+    "FNEG": lambda a: -float(a),
+    "ITOF": lambda a: float(int(a)),
+}
+
+
+def evaluate(op: OpSpec, operands: tuple, imm=None):
+    """Execute one opcode on resolved operand values.
+
+    Memory, branch and NULL opcodes are *not* handled here: their effects
+    depend on machine state and are implemented by the interpreter and
+    the simulator.  ``evaluate`` covers every value-producing ALU opcode.
+
+    Args:
+        op: The opcode spec.
+        operands: Tuple of operand values, length ``op.operands``.
+        imm: Immediate value for ``*I``/``MOVI`` forms.
+
+    Returns:
+        The result value (int for integer/test ops, float for FP ops).
+    """
+    name = op.name
+    if op.has_imm and name != "MOVI":
+        base = name[:-1]
+        a = operands[0]
+        b = imm
+    else:
+        base = name
+        a = operands[0] if op.operands >= 1 else None
+        b = operands[1] if op.operands >= 2 else None
+
+    if base in _INT_FUNCS:
+        return _INT_FUNCS[base](int(a), int(b))
+    if base in _TEST_FUNCS:
+        if base.startswith("F"):
+            return _TEST_FUNCS[base](a, b)
+        return _TEST_FUNCS[base](int(a), int(b))
+    if base in _FP_FUNCS:
+        return _FP_FUNCS[base](a, b)
+    if base in _FP_UNARY:
+        return _FP_UNARY[base](a)
+    if name == "FTOI":
+        value = float(a)
+        if math.isnan(value):
+            return 0
+        return wrap64(int(value))
+    if name == "NOT":
+        return wrap64(~int(a))
+    if name == "NEG":
+        return wrap64(-int(a))
+    if name == "MOV":
+        return a
+    if name == "MOVI":
+        return imm
+    raise ValueError(f"evaluate() does not implement opcode {name}")

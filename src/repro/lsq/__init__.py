@@ -1,0 +1,6 @@
+"""Distributed load/store queues with NACK-based overflow handling."""
+
+from repro.lsq.bank import LsqBank, LsqEntry, LsqResult, LsqStats
+from repro.lsq.storeset import StoreSetPredictor
+
+__all__ = ["LsqBank", "LsqEntry", "LsqResult", "LsqStats", "StoreSetPredictor"]

@@ -1,0 +1,5 @@
+"""Memory system substrates: flat memory, cache banks, NUCA L2, directory, DRAM."""
+
+from repro.mem.flatmem import FlatMemory
+
+__all__ = ["FlatMemory"]

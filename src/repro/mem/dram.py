@@ -1,0 +1,37 @@
+"""Main-memory model: fixed unloaded latency plus a bandwidth gate.
+
+The paper's configuration (Table 1) specifies an average unloaded main
+memory latency of 150 cycles.  Bandwidth is modelled as a minimum gap
+between request issues on the single memory channel; queued requests see
+the queuing delay on top of the access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    requests: int = 0
+    busy_cycles: int = 0
+    queue_cycles: int = 0
+
+
+class Dram:
+    """Single-channel DRAM with fixed latency and issue-gap bandwidth."""
+
+    def __init__(self, latency: int = 150, issue_gap: int = 4) -> None:
+        self.latency = latency
+        self.issue_gap = issue_gap
+        self.stats = DramStats()
+        self._next_free = 0
+
+    def request(self, now: int) -> int:
+        """Issue a request at ``now``; returns its completion cycle."""
+        start = now if self._next_free <= now else self._next_free
+        self.stats.queue_cycles += start - now
+        self._next_free = start + self.issue_gap
+        self.stats.busy_cycles += self.issue_gap
+        self.stats.requests += 1
+        return start + self.latency

@@ -1,0 +1,7 @@
+"""On-chip networks: 2D mesh topology and bandwidth-arbitrated links."""
+
+from repro.noc.mesh import Topology, Network, NetworkStats
+from repro.noc.router import RouterNetwork, RouterStats, Packet
+
+__all__ = ["Topology", "Network", "NetworkStats",
+           "RouterNetwork", "RouterStats", "Packet"]

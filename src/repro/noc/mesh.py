@@ -1,0 +1,153 @@
+"""Two-dimensional mesh interconnect with per-link bandwidth arbitration.
+
+TFlex cores are connected by 2D meshes (paper section 4.4): a control
+network for fetch/commit/prediction traffic and an operand network (OPN)
+for dataflow operands, with a single-cycle per-hop latency.  TFlex
+doubles the operand network bandwidth relative to TRIPS (section 5),
+modelled here as two channels per link.
+
+The timing model is *link reservation*: a message traversing its
+dimension-order (X-then-Y) path claims one channel of each link for one
+cycle, at the earliest cycle the channel is free after the message
+arrives at that hop.  This captures zero-load latency exactly (one cycle
+per hop) and serializes competing messages on shared links, while
+remaining cheap enough to simulate 32 cores in Python.  Unbounded router
+buffering is assumed (no head-of-line blocking); DESIGN.md records this
+approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A ``width`` x ``height`` grid of nodes, row-major numbered."""
+
+    width: int
+    height: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coord(self, node: int) -> tuple[int, int]:
+        """(x, y) coordinate of a node index."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside {self.width}x{self.height} mesh")
+        return node % self.width, node // self.width
+
+    def node(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan hop count between two nodes."""
+        ax, ay = self.coord(a)
+        bx, by = self.coord(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def route(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Dimension-order (X then Y) path as a list of directed links.
+
+        Each link is ``(from_node, to_node)`` for adjacent nodes.
+        """
+        links = []
+        x, y = self.coord(src)
+        dx, dy = self.coord(dst)
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            links.append((self.node(x, y), self.node(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            links.append((self.node(x, y), self.node(x, ny)))
+            y = ny
+        return links
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics for one network."""
+
+    messages: int = 0
+    hops: int = 0
+    total_latency: int = 0
+    contention_cycles: int = 0
+    local_deliveries: int = 0
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.hops += other.hops
+        self.total_latency += other.total_latency
+        self.contention_cycles += other.contention_cycles
+        self.local_deliveries += other.local_deliveries
+
+
+class Network:
+    """Link-reservation mesh network.
+
+    Args:
+        topology: Grid shape.
+        channels: Independent channels per directed link (bandwidth).
+        hop_latency: Cycles per hop at zero load.
+        name: For stats reporting.
+    """
+
+    def __init__(self, topology: Topology, channels: int = 1,
+                 hop_latency: int = 1, name: str = "net") -> None:
+        if channels < 1 or hop_latency < 1:
+            raise ValueError("channels and hop_latency must be >= 1")
+        self.topology = topology
+        self.channels = channels
+        self.hop_latency = hop_latency
+        self.name = name
+        self.stats = NetworkStats()
+        # Directed link -> per-channel next-free cycle.
+        self._free: dict[tuple[int, int], list[int]] = {}
+
+    def delay(self, src: int, dst: int, now: int) -> int:
+        """Arrival cycle of a message injected at ``now``.
+
+        Reserves link bandwidth along the dimension-order path, so
+        repeated calls model contention between concurrent messages.
+        ``src == dst`` is free (local delivery).
+        """
+        if src == dst:
+            self.stats.local_deliveries += 1
+            return now
+        t = now
+        path = self.topology.route(src, dst)
+        for link in path:
+            free = self._free.get(link)
+            if free is None:
+                free = [0] * self.channels
+                self._free[link] = free
+            # Pick the channel available soonest.
+            best = 0
+            for ch in range(1, self.channels):
+                if free[ch] < free[best]:
+                    best = ch
+            start = t if free[best] <= t else free[best]
+            self.stats.contention_cycles += start - t
+            free[best] = start + 1
+            t = start + self.hop_latency
+        self.stats.messages += 1
+        self.stats.hops += len(path)
+        self.stats.total_latency += t - now
+        return t
+
+    def zero_load_delay(self, src: int, dst: int) -> int:
+        """Latency without contention (no reservation made)."""
+        return self.topology.distance(src, dst) * self.hop_latency
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+
+    @property
+    def average_latency(self) -> float:
+        if self.stats.messages == 0:
+            return 0.0
+        return self.stats.total_latency / self.stats.messages

@@ -1,0 +1,19 @@
+"""Area and power models (paper sections 6.2, 6.3; Table 2).
+
+Relative models at the 130 nm / 1.5 V / 366 MHz TRIPS prototype point:
+figure 7 needs performance *per area* and figure 8 performance-squared
+*per watt*, so only the relative magnitudes across configurations
+matter, as in the paper (which limits power comparisons to 130 nm for
+the same reason).
+"""
+
+from repro.power.area import AreaModel, CORE_COMPONENT_AREAS
+from repro.power.energy import EnergyModel, EnergyParams, PowerBreakdown
+
+__all__ = [
+    "AreaModel",
+    "CORE_COMPONENT_AREAS",
+    "EnergyModel",
+    "EnergyParams",
+    "PowerBreakdown",
+]

@@ -1,0 +1,25 @@
+"""Distributed next-block prediction (paper section 4.3).
+
+Each core carries a complete predictor bank; a block is always predicted
+at its owner core (block-address hash), so predictor capacity scales
+with composition size.  Global exit history is forwarded from owner to
+owner along with the predicted next-block address; the return address
+stack is a single logical stack sequentially partitioned across cores.
+"""
+
+from repro.predictor.exits import ExitPredictor, ExitPrediction
+from repro.predictor.targets import TargetPredictor, BranchKind
+from repro.predictor.ras import DistributedRas, RasCheckpoint
+from repro.predictor.bank import PredictorBank, Prediction, PredictorCheckpoint
+
+__all__ = [
+    "ExitPredictor",
+    "ExitPrediction",
+    "TargetPredictor",
+    "BranchKind",
+    "DistributedRas",
+    "RasCheckpoint",
+    "PredictorBank",
+    "Prediction",
+    "PredictorCheckpoint",
+]

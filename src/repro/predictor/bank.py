@@ -1,0 +1,99 @@
+"""Per-core predictor bank: exit + target prediction with checkpointing.
+
+Each core carries one complete bank (8K + 256 bits in the paper's
+sizing).  A block is predicted at its owner core's bank; because the
+owner hash is stable for a fixed composition, the same block always
+trains the same bank and capacity scales with composition size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.program import BLOCK_STRIDE
+from repro.predictor.exits import (
+    ExitPredictor,
+    ExitPrediction,
+    GLOBAL_HISTORY_EXITS,
+    push_history,
+)
+from repro.predictor.ras import DistributedRas, RasCheckpoint
+from repro.predictor.targets import BranchKind, TargetPredictor
+
+
+@dataclass
+class PredictorCheckpoint:
+    """Undo state for one prediction (flush repair)."""
+
+    exit_prediction: ExitPrediction
+    ras_checkpoint: Optional[RasCheckpoint] = None
+
+
+@dataclass
+class Prediction:
+    """A complete next-block prediction."""
+
+    block_addr: int
+    exit_id: int
+    kind: BranchKind
+    next_addr: int
+    next_global_history: int
+    checkpoint: PredictorCheckpoint
+    ras_core: Optional[int] = None     # participating core messaged for RAS ops
+
+
+class PredictorBank:
+    """One core's next-block predictor."""
+
+    def __init__(self, local_l1: int = 64, local_l2: int = 128,
+                 global_entries: int = 512, choice_entries: int = 512,
+                 btype_entries: int = 256, btb_entries: int = 128,
+                 ctb_entries: int = 16, latency: int = 3) -> None:
+        self.exits = ExitPredictor(local_l1, local_l2, global_entries, choice_entries)
+        self.targets = TargetPredictor(btype_entries, btb_entries, ctb_entries)
+        self.latency = latency
+
+    def predict(self, block_addr: int, global_history: int,
+                ras: DistributedRas) -> Prediction:
+        """Predict the next block after ``block_addr``.
+
+        Speculatively updates local history and the RAS; the returned
+        checkpoint undoes both if the block is squashed."""
+        block_num = block_addr // BLOCK_STRIDE
+        exit_prediction = self.exits.predict(block_num, global_history)
+        kind, target = self.targets.predict(block_addr, exit_prediction.exit_id)
+
+        ras_checkpoint = None
+        ras_core = None
+        if kind is BranchKind.CALL:
+            ras_checkpoint = ras.push(block_addr + BLOCK_STRIDE)
+            ras_core = ras.top_core
+        elif kind is BranchKind.RETURN:
+            target, ras_checkpoint = ras.pop()
+            ras_core = ras.top_core
+
+        return Prediction(
+            block_addr=block_addr,
+            exit_id=exit_prediction.exit_id,
+            kind=kind,
+            next_addr=target,
+            next_global_history=push_history(
+                global_history, exit_prediction.exit_id, GLOBAL_HISTORY_EXITS),
+            checkpoint=PredictorCheckpoint(exit_prediction, ras_checkpoint),
+            ras_core=ras_core,
+        )
+
+    def update(self, prediction: Prediction, actual_exit: int,
+               actual_kind: BranchKind, actual_target: int) -> None:
+        """Train with the resolved block (called at commit)."""
+        block_num = prediction.block_addr // BLOCK_STRIDE
+        self.exits.update(block_num, prediction.checkpoint.exit_prediction, actual_exit)
+        self.targets.update(prediction.block_addr, actual_exit, actual_kind, actual_target)
+
+    def repair(self, prediction: Prediction, ras: DistributedRas,
+               actual_exit: Optional[int] = None) -> None:
+        """Undo this prediction's speculative state (flush, youngest-first)."""
+        self.exits.repair(prediction.checkpoint.exit_prediction, actual_exit)
+        if prediction.checkpoint.ras_checkpoint is not None:
+            ras.restore(prediction.checkpoint.ras_checkpoint)

@@ -1,0 +1,21 @@
+"""Conventional RISC ISA and out-of-order superscalar model.
+
+Stands in for the paper's Intel Core 2 measurements (figure 5): the same
+kernels, lowered to a linear load/store ISA by
+:mod:`repro.compiler.risc_backend`, run on a 4-wide out-of-order core
+model with branch prediction and a two-level cache hierarchy.
+"""
+
+from repro.risc.isa import RInst, RiscProgram, RiscError
+from repro.risc.interp import RiscInterpreter
+from repro.risc.machine import OoOCore, OoOConfig, OoOStats
+
+__all__ = [
+    "RInst",
+    "RiscProgram",
+    "RiscError",
+    "RiscInterpreter",
+    "OoOCore",
+    "OoOConfig",
+    "OoOStats",
+]

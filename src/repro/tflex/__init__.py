@@ -1,0 +1,35 @@
+"""TFlex: the Composable Lightweight Processor microarchitecture.
+
+The paper's primary contribution: 32 lightweight dual-issue EDGE cores
+that aggregate dynamically — without binary changes — into logical
+processors of 1 to 32 cores, using fully distributed protocols for
+fetch, next-block prediction, operand routing, memory disambiguation,
+and commit (no structure is physically shared between cores).
+"""
+
+from repro.tflex.config import CoreConfig, SystemConfig, TFLEX, tflex_config, trips_config
+from repro.tflex.events import EventQueue
+from repro.tflex.instance import BlockInstance, BlockState
+from repro.tflex.placement import pack, rectangle
+from repro.tflex.processor import ComposedProcessor
+from repro.tflex.stats import ProcStats
+from repro.tflex.system import SimulationDeadlock, TFlexSystem, run_program
+from repro.tflex.trace import BlockTrace, render_timeline
+
+__all__ = [
+    "CoreConfig",
+    "SystemConfig",
+    "TFLEX",
+    "tflex_config",
+    "trips_config",
+    "EventQueue",
+    "BlockInstance",
+    "BlockState",
+    "pack",
+    "rectangle",
+    "ComposedProcessor",
+    "ProcStats",
+    "SimulationDeadlock",
+    "TFlexSystem",
+    "run_program",
+]

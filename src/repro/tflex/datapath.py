@@ -1,0 +1,409 @@
+"""Datapath behaviour of a composed processor: execution, operand
+routing over the operand network, and the distributed memory path
+(LSQ banks, D-cache banks, L2).
+
+Mixed into :class:`repro.tflex.processor.ComposedProcessor`; every
+method here assumes the state that class establishes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction, OperandSlot, Target, TargetKind
+from repro.isa.opcodes import OpClass, evaluate, memory_size
+from repro.isa.program import HALT_ADDR
+from repro.lsq.bank import LsqResult
+from repro.mem.cache import LineState
+from repro.tflex.instance import BlockInstance
+
+
+class _NullValue:
+    """Operand-network token that nullifies a register write."""
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+NULL_VALUE = _NullValue()
+
+
+class DatapathMixin:
+    """Execution-side behaviour of a composed processor."""
+
+    # ------------------------------------------------------------------
+    # Issue (called by Core at issue time)
+    # ------------------------------------------------------------------
+
+    def issue(self, instance: BlockInstance, inst: Instruction, core) -> None:
+        """Execute one instruction; results appear after its latency."""
+        now = self.queue.now
+        opclass = inst.op.opclass
+        self.stats.count("fpu_op" if inst.op.is_fp else "alu_op")
+
+        if opclass is OpClass.BRANCH:
+            self._issue_branch(instance, inst, core, now)
+        elif opclass is OpClass.NULL:
+            self._issue_null(instance, inst, core, now)
+        elif opclass is OpClass.LOAD:
+            self._issue_load(instance, inst, core, now)
+        elif opclass is OpClass.STORE:
+            self._issue_store(instance, inst, core, now)
+        else:
+            ops = instance.operand_values(inst)
+            imm = self.program.resolve_imm(inst.imm)
+            value = evaluate(inst.op, ops, imm)
+            done = now + inst.op.latency
+            self.queue.at(done, lambda: self._route_result(instance, inst, value, core))
+
+    def _issue_branch(self, instance: BlockInstance, inst: Instruction,
+                      core, now: int) -> None:
+        ops = instance.operand_values(inst)
+        name = inst.op.name
+        if name == "HALT":
+            next_addr = HALT_ADDR
+        elif name == "RET":
+            next_addr = int(ops[0])
+        else:
+            next_addr = self.program.address_of(inst.branch_target)
+        done = now + inst.op.latency
+        arrive = self.control_delay(core.id, self.core_of_index(instance.owner_index), done)
+        self.queue.at(arrive, lambda: self._on_branch_resolved(instance, inst, next_addr))
+
+    def _issue_null(self, instance: BlockInstance, inst: Instruction,
+                    core, now: int) -> None:
+        done = now + inst.op.latency
+        if inst.null_store:
+            owner = self.core_of_index(instance.owner_index)
+            arrive = self.control_delay(core.id, owner, done)
+            lsq_id = inst.lsq_id
+            self.queue.at(arrive, lambda: self._on_store_resolved(instance, lsq_id))
+        if inst.targets:
+            self.queue.at(done, lambda: self._route_result(
+                instance, inst, NULL_VALUE, core, null=True))
+
+    # ------------------------------------------------------------------
+    # Operand routing
+    # ------------------------------------------------------------------
+
+    def _route_result(self, instance: BlockInstance, inst: Instruction,
+                      value, core, null: bool = False) -> None:
+        """Send a produced value to each encoded dataflow target."""
+        if instance.squashed:
+            return
+        for target in inst.targets:
+            self._route_to_target(instance, target, value, core.id, null)
+
+    def _route_to_target(self, instance: BlockInstance, target: Target,
+                         value, from_core: int, null: bool = False) -> None:
+        now = self.queue.now
+        if target.kind is TargetKind.WRITE:
+            wslot = instance.block.writes[target.index]
+            bank_index = self.rf_bank_of(wslot.reg)
+            bank_core = self.rf_bank_core(bank_index)
+            arrive = self.operand_delay(from_core, bank_core, now)
+            self.queue.at(arrive, lambda: self._on_write_arrive(
+                instance, wslot.reg, value, null, bank_index))
+        else:
+            consumer = instance.block.insts[target.index]
+            dest_core = self.core_of_index(target.index % self.ncores)
+            arrive = self.operand_delay(from_core, dest_core, now)
+            self.queue.at(arrive, lambda: self._deliver_operand(
+                instance, consumer, target.slot, value, dest_core))
+
+    def _deliver_operand(self, instance: BlockInstance, consumer: Instruction,
+                         slot: OperandSlot, value, dest_core: int) -> None:
+        if instance.squashed:
+            return
+        self.stats.count("window_write")
+        instance.buffer_operand(consumer.iid, slot, value)
+        self.system.cores[dest_core].wake(instance, consumer)
+
+    def _on_write_arrive(self, instance: BlockInstance, reg: int, value,
+                         null: bool, bank_index: int) -> None:
+        """A register write (or NULL) reached its register bank."""
+        if instance.squashed:
+            return
+        self.stats.count("regfile_write")
+        self.rf_banks[bank_index].produce(instance.gseq, reg, value, null=null)
+        # The bank notifies the owner for completion counting.
+        owner = self.core_of_index(instance.owner_index)
+        bank_core = self.rf_bank_core(bank_index)
+        arrive = self.control_delay(bank_core, owner, self.queue.now)
+        self.queue.at(arrive, lambda: self._on_write_resolved(instance))
+
+    # ------------------------------------------------------------------
+    # Register reads (dispatched at the register bank's core)
+    # ------------------------------------------------------------------
+
+    def dispatch_read(self, instance: BlockInstance, read_index: int) -> None:
+        """Resolve one read slot against the bank's forwarding state."""
+        if instance.squashed:
+            return
+        read = instance.block.reads[read_index]
+        bank_index = self.rf_bank_of(read.reg)
+        bank_core = self.rf_bank_core(bank_index)
+        self.stats.count("regfile_read")
+
+        def deliver(value) -> None:
+            if instance.squashed:
+                return
+            for target in read.targets:
+                self._route_to_target(instance, target, value, bank_core)
+
+        self.rf_banks[bank_index].read(instance.gseq, read.reg, deliver)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def _issue_load(self, instance: BlockInstance, inst: Instruction,
+                    core, now: int) -> None:
+        ops = instance.operand_values(inst)
+        addr = int(ops[0]) + int(inst.imm or 0)
+        if addr < 0:
+            self._bad_address(instance, inst, addr)
+            return
+        bank_core = self.dbank_core(self.dbank_of(addr))
+        arrive = self.operand_delay(core.id, bank_core, now + inst.op.latency)
+        self.queue.at(arrive, lambda: self._load_arrive(instance, inst, addr))
+
+    def _load_must_wait(self, instance: BlockInstance, inst: Instruction) -> bool:
+        """Dependence throttle for previously-violating loads: either
+        the blunt all-older-stores rule or the store-set predictor."""
+        key = (instance.block.label, inst.lsq_id)
+        if self.store_sets is not None:
+            return self.store_sets.must_wait(key, instance.gseq, inst.lsq_id,
+                                             self.inflight)
+        return key in self.dependence_set and not self.older_stores_resolved(
+            instance.gseq, inst.lsq_id)
+
+    def _record_conflict(self, load_key: tuple, store_gseq, store_lsq) -> None:
+        """Remember a load/store dependence for future throttling."""
+        self.dependence_set.add(load_key)
+        if self.store_sets is not None and store_gseq is not None:
+            store_instance = self.instances.get(store_gseq)
+            if store_instance is not None:
+                self.store_sets.record_violation(
+                    load_key, (store_instance.block.label, store_lsq))
+
+    def _load_arrive(self, instance: BlockInstance, inst: Instruction,
+                     addr: int) -> None:
+        """A load reached its LSQ/D-cache bank."""
+        if instance.squashed:
+            return
+        key = (instance.block.label, inst.lsq_id)
+        if self._load_must_wait(instance, inst):
+            # Throttled after an earlier violation.
+            self.deferred_loads.append((instance, inst, addr))
+            return
+
+        size = memory_size(inst.op)
+        fp = inst.op.name.endswith("F")
+        bank_index = self.dbank_of(addr)
+        bank_core = self.dbank_core(bank_index)
+        lsq = self.system.cores[bank_core].lsq
+        self.stats.count("lsq_search")
+        outcome = lsq.load(instance.gseq, inst.lsq_id, addr, size, fp=fp,
+                           ctx=self.ctx)
+
+        if outcome.result is LsqResult.NACK:
+            self._handle_nack(instance, lsq)
+            self.queue.after(self.cfg.nack_retry,
+                             lambda: self._load_arrive(instance, inst, addr))
+            return
+        if outcome.result is LsqResult.CONFLICT:
+            # Inexact overlap with an older in-flight store.  The bank
+            # refused the load before it read anything, so no flush is
+            # needed: record the dependence and park until the store
+            # drains at commit.
+            self.stats.replays += 1
+            self._record_conflict(key, outcome.conflict_gseq, outcome.conflict_lsq)
+            self.deferred_loads.append((instance, inst, addr))
+            return
+
+        now = self.queue.now
+        if outcome.result is LsqResult.FORWARD:
+            done = now + self.cfg.core.lsq_search
+            value = outcome.value
+            self.queue.at(done, lambda: self._finish_load(
+                instance, inst, value, bank_core))
+            return
+
+        # LsqResult.OK: go to the D-cache.
+        self._load_dcache(instance, inst, addr, size, fp, bank_index, bank_core)
+
+    def _load_dcache(self, instance: BlockInstance, inst: Instruction, addr: int,
+                     size: int, fp: bool, bank_index: int, bank_core: int) -> None:
+        now = self.queue.now
+        dcache = self.system.cores[bank_core].dcache
+        self.stats.count("dcache_read")
+        t_cache = now + self.cfg.core.lsq_search + self.cfg.core.dcache_hit
+        if dcache.access(self.ctx, addr):
+            self.queue.at(t_cache, lambda: self._finish_load_from_memory(
+                instance, inst, addr, size, fp, bank_core))
+            return
+        # Miss: fetch the line from L2 (which may go to DRAM).
+        self.stats.count("l2_access")
+        done, state = self.system.l2.read(self.ctx, addr, bank_core, t_cache)
+        victim = dcache.fill(self.ctx, addr, state)
+        if victim is not None:
+            self.system.l2.l1_evicted(victim.ctx, victim.line_addr, bank_core)
+        self.queue.at(done, lambda: self._finish_load_from_memory(
+            instance, inst, addr, size, fp, bank_core))
+
+    def _finish_load_from_memory(self, instance: BlockInstance, inst: Instruction,
+                                 addr: int, size: int, fp: bool,
+                                 bank_core: int) -> None:
+        """Read the architectural value at reply time (committed state)."""
+        if instance.squashed:
+            return
+        value = self.memory.load(addr, size, fp=fp)
+        self._finish_load(instance, inst, value, bank_core)
+
+    def _finish_load(self, instance: BlockInstance, inst: Instruction,
+                     value, bank_core: int) -> None:
+        if instance.squashed:
+            return
+        self.stats.loads_executed += 1
+        core = self.system.cores[bank_core]
+        self._route_result(instance, inst, value, core)
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def _issue_store(self, instance: BlockInstance, inst: Instruction,
+                     core, now: int) -> None:
+        ops = instance.operand_values(inst)
+        addr = int(ops[0]) + int(inst.imm or 0)
+        if addr < 0:
+            self._bad_address(instance, inst, addr)
+            return
+        value = ops[1]
+        bank_core = self.dbank_core(self.dbank_of(addr))
+        arrive = self.operand_delay(core.id, bank_core, now + inst.op.latency)
+        self.queue.at(arrive, lambda: self._store_arrive(instance, inst, addr, value))
+
+    def _store_arrive(self, instance: BlockInstance, inst: Instruction,
+                      addr: int, value) -> None:
+        if instance.squashed:
+            return
+        size = memory_size(inst.op)
+        fp = inst.op.name.endswith("F")
+        bank_core = self.dbank_core(self.dbank_of(addr))
+        lsq = self.system.cores[bank_core].lsq
+        self.stats.count("lsq_search")
+        outcome = lsq.store(instance.gseq, inst.lsq_id, addr, size, value,
+                            fp=fp, ctx=self.ctx)
+
+        if outcome.result is LsqResult.NACK:
+            self._handle_nack(instance, lsq)
+            self.queue.after(self.cfg.nack_retry,
+                             lambda: self._store_arrive(instance, inst, addr, value))
+            return
+
+        if outcome.result is LsqResult.CONFLICT:
+            # Dependence violation: a younger load already executed.
+            self.stats.violations += 1
+            victim = self.instances.get(outcome.violation_gseq)
+            if victim is not None and outcome.violation_lsq is not None:
+                self._record_conflict(
+                    (victim.block.label, outcome.violation_lsq),
+                    instance.gseq, inst.lsq_id)
+            self.flush_from(outcome.violation_gseq, reason="violation")
+            if instance.squashed:
+                return   # the store's own block was the violator's block
+
+        # Store accepted: notify the owner that this slot resolved.
+        owner = self.core_of_index(instance.owner_index)
+        done = self.queue.now + self.cfg.core.lsq_search
+        arrive = self.control_delay(bank_core, owner, done)
+        lsq_id = inst.lsq_id
+        self.queue.at(arrive, lambda: self._on_store_resolved(instance, lsq_id))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _bad_address(self, instance: BlockInstance, inst: Instruction,
+                     addr: int) -> None:
+        """Drop an access to a garbage address (wrong-path speculation
+        can compute anything).  The issuing block never completes; a
+        correct-path occurrence therefore surfaces as a simulation
+        deadlock diagnostic rather than silent corruption."""
+        self.stats.count("bad_address")
+
+    def _handle_nack(self, instance: BlockInstance, lsq) -> None:
+        """LSQ overflow policy (paper section 4.5, NACK mechanism).
+
+        A NACKed access retries after a delay.  If the bank is occupied
+        by *younger* blocks than the requester, retrying alone livelocks
+        — the younger blocks cannot commit before the requester — so the
+        youngest occupant (and everything younger) is flushed to free
+        entries; occupancy by older blocks drains naturally at commit.
+        """
+        self.stats.nacks += 1
+        if not self.inflight or self.inflight[0] is not instance:
+            return   # younger requesters wait: older blocks drain at commit
+        youngest = lsq.youngest_gseq(ctx=self.ctx)
+        if youngest is not None and youngest > instance.gseq:
+            self.stats.count("lsq_overflow_flush")
+            self.flush_from(youngest, reason="lsq-overflow")
+
+    def older_stores_resolved(self, gseq: int, lsq_id: int) -> bool:
+        """True when every store older than (gseq, lsq_id) has resolved
+        (executed, nullified, or its block committed/squashed)."""
+        for other in self.inflight:
+            if other.squashed or other.gseq > gseq:
+                continue
+            if other.gseq == gseq:
+                if any(slot < lsq_id and slot not in other.resolved_store_slots
+                       for slot in other.block.store_ids):
+                    return False
+            elif other.stores_done < other.stores_expected:
+                return False
+        return True
+
+    def _wake_deferred_loads(self) -> None:
+        if not self.deferred_loads:
+            return
+        pending, self.deferred_loads = self.deferred_loads, []
+        for instance, inst, addr in pending:
+            if instance.squashed:
+                continue
+            if not self._load_must_wait(instance, inst):
+                # Re-present to the bank (charging a fresh LSQ search).
+                self._load_arrive_deferred(instance, inst, addr)
+            else:
+                self.deferred_loads.append((instance, inst, addr))
+
+    def _load_arrive_deferred(self, instance: BlockInstance, inst: Instruction,
+                              addr: int) -> None:
+        """Re-attempt a throttled load without re-adding it to the
+        dependence throttle (its key is already in the set)."""
+        key = (instance.block.label, inst.lsq_id)
+        size = memory_size(inst.op)
+        fp = inst.op.name.endswith("F")
+        bank_index = self.dbank_of(addr)
+        bank_core = self.dbank_core(bank_index)
+        lsq = self.system.cores[bank_core].lsq
+        self.stats.count("lsq_search")
+        outcome = lsq.load(instance.gseq, inst.lsq_id, addr, size, fp=fp,
+                           ctx=self.ctx)
+        if outcome.result is LsqResult.NACK:
+            self._handle_nack(instance, lsq)
+            self.queue.after(self.cfg.nack_retry,
+                             lambda: self._load_arrive_deferred(instance, inst, addr))
+            return
+        if outcome.result is LsqResult.CONFLICT:
+            # The conflicting older store is still in the LSQ: keep waiting.
+            self.deferred_loads.append((instance, inst, addr))
+            return
+        now = self.queue.now
+        if outcome.result is LsqResult.FORWARD:
+            value = outcome.value
+            self.queue.at(now + self.cfg.core.lsq_search,
+                          lambda: self._finish_load(instance, inst, value, bank_core))
+            return
+        self._load_dcache(instance, inst, addr, size, fp, bank_index, bank_core)

@@ -1,0 +1,57 @@
+"""Discrete-event kernel for the cycle-level simulator.
+
+The simulator is event-driven with cycle granularity: components
+schedule callbacks at absolute cycles, and idle stretches (cores waiting
+on memory, empty pipelines) cost nothing.  Ties are broken by insertion
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class EventQueue:
+    """A deterministic min-heap scheduler over integer cycles."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def at(self, cycle: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at an absolute cycle (>= now)."""
+        if cycle < self.now:
+            raise ValueError(f"scheduling into the past: {cycle} < {self.now}")
+        heapq.heappush(self._heap, (cycle, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        self.at(self.now + delay, fn)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: Optional[Callable[[], bool]] = None,
+            max_cycles: int = 10_000_000) -> bool:
+        """Process events in order until the queue drains, ``until()``
+        holds, or the cycle budget is exceeded.
+
+        Returns True if stopped by ``until()`` (normal completion for
+        simulations) or queue drain, False on budget exhaustion.
+        """
+        while self._heap:
+            if until is not None and until():
+                return True
+            cycle, __, fn = heapq.heappop(self._heap)
+            if cycle > max_cycles:
+                self.now = cycle
+                return False
+            self.now = cycle
+            self.events_processed += 1
+            fn()
+        return True

@@ -1,0 +1,133 @@
+"""Dynamic block instances: the unit of fetch, speculation, and commit.
+
+A :class:`BlockInstance` is one in-flight execution of a static block on
+a composed processor: it tracks per-instruction operand buffers,
+dispatch/fire state, output-completion counting (the owner core's
+bookkeeping), and the speculative-state checkpoints needed to squash it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.isa.block import Block
+from repro.isa.instruction import Instruction, OperandSlot
+from repro.predictor.bank import Prediction
+
+
+class BlockState(Enum):
+    FETCHING = "fetching"
+    EXECUTING = "executing"     # dispatched (possibly partially), issuing
+    COMPLETE = "complete"       # all outputs produced, awaiting oldest
+    COMMITTING = "committing"   # commit protocol in flight
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+@dataclass
+class BlockInstance:
+    """One dynamic execution of a block on a composed processor."""
+
+    gseq: int                      # fetch sequence number within its thread
+    block: Block
+    addr: int
+    owner_index: int               # participating-core index of the owner
+    ghist_before: int              # global exit history entering this block
+    prediction: Optional[Prediction] = None   # of this block's *next* block
+    state: BlockState = BlockState.FETCHING
+    proc: object = None            # owning ComposedProcessor (set at fetch)
+
+    # Execution state, keyed by instruction ID.
+    operands: dict[int, dict[OperandSlot, object]] = field(default_factory=dict)
+    dispatched: set[int] = field(default_factory=set)
+    fired: set[int] = field(default_factory=set)
+    squashed_insts: set[int] = field(default_factory=set)
+
+    # Output completion counting (owner-side).
+    writes_done: int = 0
+    stores_done: int = 0
+    branch_done: bool = False
+    resolved_store_slots: set[int] = field(default_factory=set)
+
+    # Branch resolution.
+    actual_exit: Optional[int] = None
+    actual_next: Optional[int] = None
+    actual_kind: Optional[object] = None   # BranchKind
+
+    # Timing marks for the figure-9 breakdowns.
+    t_fetch_start: int = 0
+    t_fetch_cmd: int = 0
+    fetch_parts: dict[str, int] = field(default_factory=dict)
+    commit_parts: dict[str, int] = field(default_factory=dict)
+    t_complete: int = 0
+    t_commit_start: int = 0
+
+    insts_fired_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is BlockState.SQUASHED
+
+    @property
+    def committed(self) -> bool:
+        return self.state is BlockState.COMMITTED
+
+    @property
+    def writes_expected(self) -> int:
+        return len(self.block.writes)
+
+    @property
+    def stores_expected(self) -> int:
+        return len(self.block.store_ids)
+
+    @property
+    def outputs_complete(self) -> bool:
+        return (self.branch_done
+                and self.writes_done >= self.writes_expected
+                and self.stores_done >= self.stores_expected)
+
+    # ------------------------------------------------------------------
+    # Operand buffering
+    # ------------------------------------------------------------------
+
+    def buffer_operand(self, iid: int, slot: OperandSlot, value: object) -> None:
+        """Stash an arriving operand (may precede dispatch)."""
+        self.operands.setdefault(iid, {})[slot] = value
+
+    def ready_to_fire(self, inst: Instruction) -> bool:
+        """True when a dispatched, unfired instruction has its operands
+        and a matching predicate (squashes it on a mismatched one)."""
+        iid = inst.iid
+        if (iid not in self.dispatched or iid in self.fired
+                or iid in self.squashed_insts):
+            return False
+        slots = self.operands.get(iid, {})
+        if inst.pred is not None:
+            pred_value = slots.get(OperandSlot.PRED)
+            if pred_value is None:
+                return False
+            if bool(pred_value) != inst.pred:
+                self.squashed_insts.add(iid)
+                return False
+        for slot_no in range(inst.num_operands):
+            slot = OperandSlot.OP0 if slot_no == 0 else OperandSlot.OP1
+            if slot not in slots:
+                return False
+        return True
+
+    def operand_values(self, inst: Instruction) -> tuple:
+        slots = self.operands.get(inst.iid, {})
+        return tuple(
+            slots[OperandSlot.OP0 if i == 0 else OperandSlot.OP1]
+            for i in range(inst.num_operands)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"<B{self.gseq} {self.block.label}@{self.addr:#x} "
+                f"{self.state.value}>")

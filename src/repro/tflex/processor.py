@@ -1,0 +1,233 @@
+"""A composed processor: N cores acting as one logical processor.
+
+This class holds the per-thread state (architectural registers, flat
+memory, register-forwarding banks, distributed RAS, global exit history,
+in-flight block window) and the interleaving hash functions of paper
+section 4:
+
+* **block starting address** -> owner core (prediction, fetch control,
+  completion detection, commit initiation);
+* **instruction ID within a block** -> execution core (low-order target
+  bits select the core, the rest the window slot);
+* **data address** -> D-cache/LSQ bank (XOR-folded cache-line address);
+* **register number** -> register-file bank;
+* the RAS is sequentially partitioned (handled by
+  :class:`repro.predictor.DistributedRas`).
+
+Protocol behaviour comes from :class:`ProtocolMixin`; datapath behaviour
+from :class:`DatapathMixin`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.isa.block import NUM_REGS
+from repro.isa.program import BLOCK_STRIDE, Program
+from repro.mem.flatmem import FlatMemory
+from repro.predictor import DistributedRas, PredictorBank
+from repro.tflex.datapath import DatapathMixin
+from repro.tflex.instance import BlockInstance
+from repro.tflex.protocol import ProtocolMixin
+from repro.tflex.regfile import RegfileBank
+from repro.tflex.stats import ProcStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tflex.system import TFlexSystem
+
+
+class ComposedProcessor(ProtocolMixin, DatapathMixin):
+    """One logical processor composed from participating cores."""
+
+    def __init__(self, system: "TFlexSystem", proc_id: int,
+                 core_ids: list[int], program: Program,
+                 name: Optional[str] = None, share_cores: bool = False,
+                 max_inflight: Optional[int] = None) -> None:
+        """Args:
+            share_cores: Allow the cores to be shared with other
+                processors (SMT-style multithreading of one
+                composition).  Threads then compete for issue slots,
+                caches, predictors, and LSQ capacity.
+            max_inflight: Cap on in-flight blocks (defaults to the
+                configuration rule: one per core; SMT threads should
+                split the frames, e.g. N/threads each).
+        """
+        if not core_ids:
+            raise ValueError("a composed processor needs at least one core")
+        if len(set(core_ids)) != len(core_ids):
+            raise ValueError("duplicate cores in composition")
+        program.validate()
+
+        self.system = system
+        self.cfg = system.cfg
+        self.queue = system.queue
+        self.ctx = proc_id
+        self.name = name or f"proc{proc_id}"
+        self.program = program
+        self.core_ids = list(core_ids)
+        self.ncores = len(core_ids)
+        self._max_inflight_override = max_inflight
+        for core_id in core_ids:
+            system.cores[core_id].assign(self, share=share_cores)
+
+        # Per-thread architectural state.
+        self.memory = FlatMemory()
+        self.memory.load_image(program.data)
+        self.regs: list = [0] * NUM_REGS
+        for reg, value in program.reg_init.items():
+            self.regs[reg] = value
+
+        # Banked structures (bank counts may be overridden — the TRIPS
+        # baseline centralizes them on a subset of cores).
+        self.num_rf_banks = min(self.ncores, self.cfg.regfile_banks or self.ncores)
+        self.num_dbanks = min(self.ncores, self.cfg.dcache_banks or self.ncores)
+        self.rf_banks = [RegfileBank(self.regs, name=f"{self.name}.rf{i}")
+                         for i in range(self.num_rf_banks)]
+        ras_cores = 1 if self.cfg.centralized_predictor else self.ncores
+        self.ras = DistributedRas(ras_cores, self.cfg.core.ras_entries)
+
+        # Speculation state: one in-flight block per participating core
+        # (each core's 128-entry window holds one block's worth of
+        # instructions), unless the configuration pins it (TRIPS: 8) or
+        # the composition splits frames between SMT threads.
+        if self._max_inflight_override is not None:
+            self.max_inflight = max(1, self._max_inflight_override)
+        elif self.cfg.max_inflight is not None:
+            self.max_inflight = max(1, self.cfg.max_inflight)
+        else:
+            self.max_inflight = self.ncores
+        self.speculative = self.max_inflight > 1
+        self.next_gseq = 0
+        self.fetch_epoch = 0
+        self.inflight: list[BlockInstance] = []
+        self.instances: dict[int, BlockInstance] = {}
+        self.stalled_fetch: Optional[tuple] = None
+        self.deferred_loads: list = []
+        self.dependence_set: set[tuple[str, int]] = set()
+        if self.cfg.store_sets:
+            from repro.lsq.storeset import StoreSetPredictor
+            self.store_sets = StoreSetPredictor()
+        else:
+            self.store_sets = None
+        self.halted = False
+        self._last_dealloc = system.queue.now
+        self._occupancy_mark = system.queue.now
+
+        self.stats = ProcStats()
+        #: Cycle at which this processor was composed; stats.cycles is
+        #: relative to it (systems host runs back to back).
+        self.start_cycle = system.queue.now
+
+    # ------------------------------------------------------------------
+    # Interleaving hash functions (paper section 4)
+    # ------------------------------------------------------------------
+
+    def core_of_index(self, index: int) -> int:
+        """Global core ID of participating-core ``index``."""
+        return self.core_ids[index]
+
+    def owner_index_of(self, addr: int) -> int:
+        """Owner core (participating index) of a block address."""
+        if self.cfg.centralized_predictor:
+            return 0
+        return (addr // BLOCK_STRIDE) % self.ncores
+
+    def predictor_bank(self, owner_index: int) -> PredictorBank:
+        """The physical predictor bank used for a block's prediction."""
+        if self.cfg.centralized_predictor:
+            return self.system.cores[self.core_of_index(0)].predictor
+        return self.system.cores[self.core_of_index(owner_index)].predictor
+
+    def rf_bank_of(self, reg: int) -> int:
+        return reg % self.num_rf_banks
+
+    def rf_bank_core(self, bank_index: int) -> int:
+        """Register banks sit on the first cores of the composition
+        (the top row in the TRIPS floorplan)."""
+        return self.core_of_index(bank_index)
+
+    def dbank_of(self, addr: int) -> int:
+        """D-cache/LSQ bank for a data address: XOR-folded line address
+        modulo the bank count (paper section 4.5)."""
+        line = addr // self.cfg.line_size
+        return (line ^ (line >> 5) ^ (line >> 10)) % self.num_dbanks
+
+    def dbank_core(self, bank_index: int) -> int:
+        """D-cache banks spread down one edge of the composition (the
+        left column in the TRIPS floorplan)."""
+        stride = max(1, self.ncores // self.num_dbanks)
+        return self.core_of_index(bank_index * stride)
+
+    # ------------------------------------------------------------------
+    # Network timing
+    # ------------------------------------------------------------------
+
+    def operand_delay(self, src: int, dst: int, when: int) -> int:
+        """Operand-network delivery time (reserves link bandwidth)."""
+        if src == dst:
+            return when
+        self.stats.count("opn_msg")
+        self.stats.count("opn_hop", self.system.topology.distance(src, dst))
+        return self.system.opn.delay(src, dst, when)
+
+    def control_delay(self, src: int, dst: int, when: int) -> int:
+        """Point-to-point control message delivery (reserves bandwidth);
+        free under the ideal-handshake ablation (paper section 6.4)."""
+        if src == dst or self.cfg.ideal_handshake:
+            return when
+        self.stats.count("control_msg")
+        self.stats.count("control_hop", self.system.topology.distance(src, dst))
+        return self.system.control.delay(src, dst, when)
+
+    def control_broadcast_delay(self, src: int, dst: int, when: int) -> int:
+        """One leg of a broadcast/combining operation (fetch commands,
+        commit commands, acks, deallocation).  The control network
+        replicates these along a multicast tree, so the latency is the
+        hop distance, not a serialized unicast per destination."""
+        if src == dst or self.cfg.ideal_handshake:
+            return when
+        self.stats.count("control_msg")
+        self.stats.count("control_hop", self.system.topology.distance(src, dst))
+        return when + self.system.control.zero_load_delay(src, dst)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def enable_block_trace(self) -> None:
+        """Record a :class:`repro.tflex.trace.BlockTrace` for every
+        committed block (see ``repro.tflex.trace.render_timeline``)."""
+        self.block_trace: list = []
+
+    def note_occupancy(self) -> None:
+        """Accumulate the in-flight-blocks time integral (call before
+        any change to the in-flight set)."""
+        now = self.queue.now
+        self.stats.inflight_integral += len(self.inflight) * (now - self._occupancy_mark)
+        self._occupancy_mark = now
+
+    @property
+    def done(self) -> bool:
+        return self.halted
+
+    def release_cores(self) -> None:
+        """Detach from all cores (decomposition / recomposition)."""
+        for core_id in self.core_ids:
+            self.system.cores[core_id].release(self)
+
+    def debug_state(self) -> str:
+        """One-line-per-block snapshot for deadlock diagnostics."""
+        lines = [f"{self.name}: halted={self.halted} inflight={len(self.inflight)}"]
+        for instance in self.inflight:
+            lines.append(
+                f"  B{instance.gseq} {instance.block.label} {instance.state.value} "
+                f"branch={instance.branch_done} "
+                f"writes={instance.writes_done}/{instance.writes_expected} "
+                f"stores={instance.stores_done}/{instance.stores_expected} "
+                f"dispatched={len(instance.dispatched)}/{instance.block.size} "
+                f"fired={len(instance.fired)}")
+        if self.stalled_fetch is not None:
+            lines.append(f"  stalled fetch at {self.stalled_fetch[0]:#x}")
+        if self.deferred_loads:
+            lines.append(f"  deferred loads: {len(self.deferred_loads)}")
+        return "\n".join(lines)

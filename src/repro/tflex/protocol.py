@@ -1,0 +1,490 @@
+"""Distributed control protocols of a composed processor.
+
+Implements the owner-core protocols of paper section 4: block fetch
+(tag access, next-block prediction, control hand-off to the next owner,
+fetch-command distribution, per-core dispatch), misprediction and
+dependence-violation recovery (flush + predictor/RAS repair), completion
+detection by output counting, and the four-phase distributed commit
+(commit command, architectural update, acknowledgment, deallocation).
+
+Mixed into :class:`repro.tflex.processor.ComposedProcessor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import BLOCK_STRIDE, HALT_ADDR, ProgramError
+from repro.mem.cache import LineState
+from repro.predictor.exits import GLOBAL_HISTORY_EXITS, push_history
+from repro.predictor.targets import BranchKind
+from repro.tflex.instance import BlockInstance, BlockState
+
+
+#: Constant front-end latencies (paper figure 9a: the first three fetch
+#: components — prediction, I-cache tag access, fetch pipeline — total a
+#: constant seven cycles, except that one-core compositions make no
+#: prediction).
+TAG_LATENCY = 1
+FETCH_PIPELINE_LATENCY = 3
+
+
+class ProtocolMixin:
+    """Fetch/flush/commit behaviour of a composed processor."""
+
+    # ------------------------------------------------------------------
+    # Fetch chain
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin fetching at the program's entry block."""
+        entry = self.program.address_of(self.program.entry)
+        self._schedule_fetch(entry, ghist=0, when=self.queue.now, handoff_lat=0)
+
+    def _schedule_fetch(self, addr: int, ghist: int, when: int,
+                        handoff_lat: int) -> None:
+        epoch = self.fetch_epoch
+        self.queue.at(when, lambda: self._try_fetch(addr, ghist, epoch, handoff_lat))
+
+    def _try_fetch(self, addr: int, ghist: int, epoch: int, handoff_lat: int) -> None:
+        if self.halted or epoch != self.fetch_epoch:
+            return
+        try:
+            self.program.label_at(addr)
+        except ProgramError:
+            # Predicted into space that holds no block (e.g. a BTB alias
+            # or a prediction past HALT).  Fetch stalls until the
+            # mispredicted branch resolves and redirects.
+            return
+        if len(self.inflight) >= self.max_inflight:
+            self.stalled_fetch = (addr, ghist, epoch, handoff_lat)
+            return
+        self._fetch_block(addr, ghist, handoff_lat)
+
+    def _fetch_block(self, addr: int, ghist: int, handoff_lat: int) -> None:
+        self.note_occupancy()
+        now = self.queue.now
+        block = self.program.block_at(addr)
+        owner_index = self.owner_index_of(addr)
+        instance = BlockInstance(
+            gseq=self.next_gseq, block=block, addr=addr,
+            owner_index=owner_index, ghist_before=ghist,
+            t_fetch_start=now, proc=self,
+        )
+        self.next_gseq += 1
+        self.inflight.append(instance)
+        self.instances[instance.gseq] = instance
+        self.stats.blocks_fetched += 1
+        self.stats.insts_fetched += block.size
+        self.stats.count("icache_tag")
+
+        owner_core = self.core_of_index(owner_index)
+        t_cmd = now + TAG_LATENCY + FETCH_PIPELINE_LATENCY
+
+        prediction_lat = 0
+        if self.speculative:
+            prediction_lat = self._predict_next(instance, owner_core, now)
+
+        # Declare the block's register-write set to the banks.  This is
+        # carried by the fetch command; it is applied here, synchronously
+        # and in gseq order, so a younger block's read can never race
+        # ahead of an older block's declaration.
+        for wslot in block.writes:
+            self.rf_banks[self.rf_bank_of(wslot.reg)].declare(
+                instance.gseq, [wslot.reg])
+
+        # Broadcast the fetch command to every participating core (a
+        # multicast on the control network).
+        distribution = 0
+        for index in range(self.ncores):
+            dest = self.core_of_index(index)
+            arrive = self.control_broadcast_delay(owner_core, dest, t_cmd)
+            distribution = max(distribution, arrive - t_cmd)
+            self.queue.at(arrive, lambda i=index: self._core_fetch(instance, i))
+
+        instance.t_fetch_cmd = t_cmd
+        instance.fetch_parts = {
+            "prediction": prediction_lat,
+            "tag": TAG_LATENCY,
+            "pipeline": FETCH_PIPELINE_LATENCY,
+            "handoff": handoff_lat,
+            "distribution": distribution,
+            "dispatch": 0,
+        }
+        instance.state = BlockState.EXECUTING
+
+    def _predict_next(self, instance: BlockInstance, owner_core: int,
+                      now: int) -> int:
+        """Run the owner's next-block predictor; chains the next fetch."""
+        bank = self.predictor_bank(instance.owner_index)
+        self.stats.count("predictor_access")
+        self.stats.predictions += 1
+        prediction = bank.predict(instance.addr, instance.ghist_before, self.ras)
+        instance.prediction = prediction
+
+        t_pred = now + TAG_LATENCY + bank.latency
+        if prediction.ras_core is not None and not self.cfg.ideal_handshake:
+            # RAS traffic: a pop must round-trip to the core holding the
+            # stack top before the target is known; a push is
+            # fire-and-forget.
+            ras_core = self.core_of_index(prediction.ras_core % self.ncores)
+            if prediction.kind is BranchKind.RETURN:
+                t_pred += 2 * self.system.control.zero_load_delay(owner_core, ras_core)
+
+        next_owner = self.core_of_index(self.owner_index_of(prediction.next_addr))
+        arrive = self.control_delay(owner_core, next_owner, t_pred)
+        self._schedule_fetch(prediction.next_addr, prediction.next_global_history,
+                             arrive, handoff_lat=arrive - t_pred)
+        return bank.latency
+
+    # ------------------------------------------------------------------
+    # Per-core fetch + dispatch
+    # ------------------------------------------------------------------
+
+    def _core_fetch(self, instance: BlockInstance, core_index: int) -> None:
+        """One participating core fetches and dispatches its interleaved
+        slice of the block (plus the register reads banked on it)."""
+        if instance.squashed:
+            return
+        now = self.queue.now
+        core = self.system.cores[self.core_of_index(core_index)]
+        chunk = [inst for inst in instance.block.insts
+                 if inst.iid % self.ncores == core_index]
+
+        # Register reads banked on this core resolve after header decode.
+        my_reads = [r.index for r in instance.block.reads
+                    if self.rf_bank_core(self.rf_bank_of(r.reg)) == core.id]
+        if my_reads:
+            self.queue.at(now + 1, lambda: self._dispatch_reads(instance, my_reads))
+
+        if not chunk:
+            return
+
+        # I-cache: the slice occupies ceil(4*|chunk| / line) lines.  The
+        # I-cache is private, so keying lines by block address + offset
+        # is unique within this core (different cores cache their own
+        # slices under the same keys, which models per-core footprint
+        # shrinking as composition grows).
+        cfg = self.cfg.core
+        lines = max(1, -(-len(chunk) * 4 // self.cfg.line_size))
+        t = now
+        for line_no in range(lines):
+            line_addr = instance.addr + line_no * self.cfg.line_size
+            self.stats.count("icache_access")
+            t += cfg.icache_hit
+            if not core.icache.access(self.ctx, line_addr):
+                done, state = self.system.l2.read(self.ctx, line_addr, core.id, t)
+                core.icache.fill(self.ctx, line_addr, state)
+                self.stats.count("l2_access")
+                t = done
+
+        # Dispatch in groups of dispatch_width per cycle.
+        groups = [chunk[i:i + cfg.dispatch_width]
+                  for i in range(0, len(chunk), cfg.dispatch_width)]
+        for g, group in enumerate(groups):
+            self.queue.at(t + g + 1,
+                          lambda grp=group: self._dispatch_group(instance, grp, core))
+        t_done = t + len(groups)
+        dispatch_lat = t_done - now
+        if dispatch_lat > instance.fetch_parts.get("dispatch", 0):
+            instance.fetch_parts["dispatch"] = dispatch_lat
+
+    def _dispatch_reads(self, instance: BlockInstance, read_indices: list[int]) -> None:
+        if instance.squashed:
+            return
+        for index in read_indices:
+            self.dispatch_read(instance, index)
+
+    def _dispatch_group(self, instance: BlockInstance, group, core) -> None:
+        if instance.squashed:
+            return
+        for inst in group:
+            instance.dispatched.add(inst.iid)
+            self.stats.count("window_write")
+            core.wake(instance, inst)
+
+    # ------------------------------------------------------------------
+    # Branch resolution and misprediction recovery
+    # ------------------------------------------------------------------
+
+    def _on_branch_resolved(self, instance: BlockInstance, inst,
+                            next_addr: int) -> None:
+        if instance.squashed or instance.branch_done:
+            return
+        instance.branch_done = True
+        instance.actual_exit = inst.exit_id
+        instance.actual_kind = BranchKind.of_opcode(inst.op.name)
+        instance.actual_next = next_addr
+
+        prediction = instance.prediction
+        if prediction is not None:
+            if prediction.next_addr == next_addr:
+                self.stats.predictions_correct += 1
+            else:
+                self._mispredict(instance)
+        self._check_complete(instance)
+
+    def _mispredict(self, instance: BlockInstance) -> None:
+        """Owner-initiated recovery: flush younger blocks, repair
+        speculative predictor and RAS state, redirect fetch."""
+        self.stats.mispredictions += 1
+        self.flush_from(instance.gseq + 1, reason="mispredict", refetch=False)
+
+        # Repair this block's own speculative state: push the *actual*
+        # exit into its local history, and redo its RAS effect with the
+        # actual branch kind.
+        prediction = instance.prediction
+        bank = self.predictor_bank(instance.owner_index)
+        bank.exits.repair(prediction.checkpoint.exit_prediction,
+                          actual_exit=instance.actual_exit)
+        if prediction.checkpoint.ras_checkpoint is not None:
+            self.ras.restore(prediction.checkpoint.ras_checkpoint)
+            prediction.checkpoint.ras_checkpoint = None
+        if instance.actual_kind is BranchKind.CALL:
+            prediction.checkpoint.ras_checkpoint = self.ras.push(
+                instance.addr + BLOCK_STRIDE)   # sequential next block
+        elif instance.actual_kind is BranchKind.RETURN:
+            __, cp = self.ras.pop()
+            prediction.checkpoint.ras_checkpoint = cp
+
+        corrected = push_history(instance.ghist_before, instance.actual_exit,
+                                 GLOBAL_HISTORY_EXITS)
+        self._redirect_fetch(instance.actual_next, corrected,
+                             self.queue.now + self.cfg.flush_penalty)
+
+    def _redirect_fetch(self, addr: int, ghist: int, when: int) -> None:
+        self.fetch_epoch += 1
+        self.stalled_fetch = None
+        if addr != HALT_ADDR:
+            self._schedule_fetch(addr, ghist, when, handoff_lat=0)
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+
+    def flush_from(self, gseq: int, reason: str, refetch: bool = True) -> None:
+        """Squash all in-flight blocks with sequence >= gseq.
+
+        Repairs speculative predictor/RAS state youngest-first.  When
+        ``refetch`` (dependence violations), fetch restarts at the oldest
+        squashed block's address.
+        """
+        victims = [i for i in self.inflight if i.gseq >= gseq and not i.squashed]
+        if not victims:
+            return
+        self.note_occupancy()
+        victims.sort(key=lambda i: i.gseq, reverse=True)
+        for victim in victims:
+            victim.state = BlockState.SQUASHED
+            self.stats.blocks_squashed += 1
+            if victim.prediction is not None:
+                self.predictor_bank(victim.owner_index).repair(
+                    victim.prediction, self.ras)
+            self.instances.pop(victim.gseq, None)
+        cut = victims[-1].gseq
+        self.inflight = [i for i in self.inflight if i.gseq < cut]
+        for bank in self.rf_banks:
+            bank.squash_from(cut)
+        for index in range(self.num_dbanks):
+            self.system.cores[self.dbank_core(index)].lsq.squash_from(cut, ctx=self.ctx)
+        self.deferred_loads = [
+            (inst, i, a) for (inst, i, a) in self.deferred_loads if not inst.squashed
+        ]
+        if refetch:
+            oldest = victims[-1]
+            self._redirect_fetch(oldest.addr, oldest.ghist_before,
+                                 self.queue.now + self.cfg.flush_penalty)
+
+    # ------------------------------------------------------------------
+    # Completion and commit
+    # ------------------------------------------------------------------
+
+    def _on_store_resolved(self, instance: BlockInstance, lsq_id: int) -> None:
+        if instance.squashed or lsq_id in instance.resolved_store_slots:
+            return
+        instance.resolved_store_slots.add(lsq_id)
+        instance.stores_done += 1
+        self._wake_deferred_loads()
+        self._check_complete(instance)
+
+    def _on_write_resolved(self, instance: BlockInstance) -> None:
+        if instance.squashed:
+            return
+        instance.writes_done += 1
+        self._check_complete(instance)
+
+    def _check_complete(self, instance: BlockInstance) -> None:
+        if instance.state is not BlockState.EXECUTING:
+            return
+        if instance.outputs_complete:
+            instance.state = BlockState.COMPLETE
+            instance.t_complete = self.queue.now
+            self._try_commit()
+
+    def _try_commit(self) -> None:
+        """Launch commits in order, but pipelined: a complete block may
+        start its commit protocol as soon as every older block has
+        *started* (not finished) committing — the paper overlaps fetch,
+        execution, and commit of consecutive blocks (section 4.1).
+        Deallocations still complete in order."""
+        for instance in self.inflight:
+            if instance.state is BlockState.COMPLETE:
+                self._start_commit(instance)
+            elif instance.state is not BlockState.COMMITTING:
+                break
+
+    def _start_commit(self, instance: BlockInstance) -> None:
+        """Four-phase distributed commit (paper section 4.6)."""
+        instance.state = BlockState.COMMITTING
+        now = self.queue.now
+        instance.t_commit_start = now
+        owner = self.core_of_index(instance.owner_index)
+
+        # Phase 2: commit command to all participating cores.
+        # Phase 3: each core updates architectural state (register and
+        # store drains proceed in parallel across banks) and acks.
+        writes_per_bank = [0] * len(self.rf_banks)
+        for wslot in instance.block.writes:
+            writes_per_bank[self.rf_bank_of(wslot.reg)] += 1
+        stores_per_bank = [
+            len(self.system.cores[self.dbank_core(b)].lsq.stores_of_block(instance.gseq, ctx=self.ctx))
+            for b in range(self.num_dbanks)
+        ]
+
+        t_acks = now
+        max_cmd = 0
+        max_update = 0
+        for index in range(self.ncores):
+            dest = self.core_of_index(index)
+            t_cmd = self.control_broadcast_delay(owner, dest, now)
+            max_cmd = max(max_cmd, t_cmd - now)
+            drain = 0
+            for b in range(len(self.rf_banks)):
+                if self.rf_bank_core(b) == dest:
+                    drain = max(drain, writes_per_bank[b])
+            for b in range(self.num_dbanks):
+                if self.dbank_core(b) == dest:
+                    drain = max(drain, stores_per_bank[b])
+            t_done = t_cmd + drain
+            max_update = max(max_update, drain)
+            t_ack = self.control_broadcast_delay(dest, owner, t_done)
+            t_acks = max(t_acks, t_ack)
+
+        # Phase 4: deallocation broadcast.
+        t_dealloc = t_acks
+        for index in range(self.ncores):
+            dest = self.core_of_index(index)
+            t_dealloc = max(t_dealloc, self.control_broadcast_delay(owner, dest, t_acks))
+
+        instance.commit_parts = {
+            "state_update": max_update,
+            "handshake": (t_dealloc - now) - max_update,
+        }
+        # Deallocations complete in block order even when commits overlap.
+        t_dealloc = max(t_dealloc, self._last_dealloc + 1)
+        self._last_dealloc = t_dealloc
+        self.queue.at(t_dealloc, lambda: self._finish_commit(instance))
+
+    def _finish_commit(self, instance: BlockInstance) -> None:
+        """Apply architectural effects and free the block's frame."""
+        if instance.squashed:
+            return   # flushed mid-commit (dependence violation upstream)
+        self.note_occupancy()
+        gseq = instance.gseq
+        assert self.inflight and self.inflight[0] is instance, "commit out of order"
+        self.inflight.pop(0)
+        self.instances.pop(gseq, None)
+        instance.state = BlockState.COMMITTED
+
+        # Stores: drain to memory in LSQ-id order, touching the D-cache
+        # and directory (post-commit write buffer; timing is off the
+        # commit critical path).
+        drained = []
+        for b in range(self.num_dbanks):
+            bank_core = self.dbank_core(b)
+            lsq = self.system.cores[bank_core].lsq
+            for entry in lsq.stores_of_block(gseq, ctx=self.ctx):
+                drained.append((entry, bank_core))
+            lsq.release_block(gseq, ctx=self.ctx)
+        drained.sort(key=lambda pair: pair[0].lsq_id)
+        for entry, bank_core in drained:
+            self.memory.store(entry.addr, entry.size, entry.value, fp=entry.fp)
+            self._commit_store_to_cache(entry, bank_core)
+        self.stats.stores_committed += len(drained)
+
+        # Register writes become architectural.
+        for wslot in instance.block.writes:
+            self.rf_banks[self.rf_bank_of(wslot.reg)].commit(gseq, wslot.reg)
+            self.stats.count("commit_write")
+
+        # Train the predictor with the resolved block.
+        if instance.prediction is not None:
+            self.predictor_bank(instance.owner_index).update(
+                instance.prediction, instance.actual_exit,
+                instance.actual_kind, instance.actual_next)
+
+        self.stats.blocks_committed += 1
+        self.stats.insts_committed += instance.insts_fired_count
+        self.stats.fetch_latency.record(**instance.fetch_parts)
+        self.stats.commit_latency.record(**instance.commit_parts)
+
+        if getattr(self, "block_trace", None) is not None:
+            from repro.tflex.trace import BlockTrace
+            self.block_trace.append(BlockTrace(
+                gseq=gseq, label=instance.block.label,
+                owner_index=instance.owner_index,
+                fetch_start=instance.t_fetch_start,
+                fetch_cmd=instance.t_fetch_cmd,
+                complete=instance.t_complete,
+                commit_start=instance.t_commit_start,
+                committed=self.queue.now))
+
+        self._wake_deferred_loads()
+
+        if instance.actual_next == HALT_ADDR:
+            self._halt()
+            return
+
+        if not self.speculative:
+            ghist = push_history(instance.ghist_before, instance.actual_exit,
+                                 GLOBAL_HISTORY_EXITS)
+            self._schedule_fetch(instance.actual_next, ghist,
+                                 self.queue.now, handoff_lat=0)
+        elif self.stalled_fetch is not None:
+            addr, ghist, epoch, handoff_lat = self.stalled_fetch
+            self.stalled_fetch = None
+            if epoch == self.fetch_epoch:
+                self._schedule_fetch(addr, ghist, self.queue.now, handoff_lat)
+
+        self._try_commit()
+
+    def _commit_store_to_cache(self, entry, bank_core: int) -> None:
+        """Write-path coherence for one committed store."""
+        core = self.system.cores[bank_core]
+        self.stats.count("dcache_write")
+        line = core.dcache.probe(self.ctx, entry.addr)
+        from repro.mem.cache import LineState
+        if line is not None and line.state is LineState.MODIFIED:
+            core.dcache.access(self.ctx, entry.addr, write=True)
+            return
+        # Upgrade or write-allocate through the directory.
+        self.stats.count("l2_access")
+        __, state = self.system.l2.write(self.ctx, entry.addr, bank_core,
+                                         self.queue.now)
+        victim = core.dcache.fill(self.ctx, entry.addr, state)
+        if victim is not None:
+            self.system.l2.l1_evicted(victim.ctx, victim.line_addr, bank_core)
+        core.dcache.access(self.ctx, entry.addr, write=True)
+
+    # ------------------------------------------------------------------
+    # Halt
+    # ------------------------------------------------------------------
+
+    def _halt(self) -> None:
+        self.fetch_epoch += 1
+        self.stalled_fetch = None
+        if self.inflight:
+            self.flush_from(self.inflight[0].gseq, reason="halt", refetch=False)
+        self.note_occupancy()
+        self.halted = True
+        self.stats.cycles = self.queue.now - self.start_cycle

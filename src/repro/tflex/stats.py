@@ -1,0 +1,110 @@
+"""Statistics collected by the TFlex simulator.
+
+Per-processor stats cover the quantities the paper's evaluation plots:
+cycle counts (figures 5-8), fetch/commit protocol latency breakdowns
+(figure 9), speculation behaviour, and activity counts feeding the
+energy model (figure 8, table 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyBreakdown:
+    """Accumulates per-block protocol component latencies (figure 9)."""
+
+    samples: int = 0
+    components: Counter = field(default_factory=Counter)
+
+    def record(self, **latencies: int) -> None:
+        self.samples += 1
+        for name, value in latencies.items():
+            self.components[name] += value
+
+    def mean(self, name: str) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.components[name] / self.samples
+
+    def means(self) -> dict[str, float]:
+        return {name: self.mean(name) for name in sorted(self.components)}
+
+    def total_mean(self) -> float:
+        return sum(self.means().values())
+
+
+@dataclass
+class ProcStats:
+    """Statistics for one composed processor's run."""
+
+    # Progress
+    cycles: int = 0
+    blocks_committed: int = 0
+    insts_committed: int = 0
+    insts_fetched: int = 0
+    loads_executed: int = 0
+    stores_committed: int = 0
+
+    # Speculation
+    blocks_fetched: int = 0
+    blocks_squashed: int = 0
+    mispredictions: int = 0
+    violations: int = 0
+    replays: int = 0          # LSQ conflicts forcing replay
+    nacks: int = 0
+
+    # Prediction
+    predictions: int = 0
+    predictions_correct: int = 0
+
+    # Window utilization: integral of in-flight block count over time.
+    inflight_integral: int = 0
+
+    @property
+    def avg_inflight_blocks(self) -> float:
+        """Mean number of blocks in flight (window utilization)."""
+        return self.inflight_integral / self.cycles if self.cycles else 0.0
+
+    # Protocol latency breakdowns (figure 9)
+    fetch_latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    commit_latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+    # Activity counters for the energy model.
+    energy_events: Counter = field(default_factory=Counter)
+
+    @property
+    def ipc(self) -> float:
+        return self.insts_committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.predictions_correct / self.predictions
+
+    @property
+    def speculation_waste(self) -> float:
+        """Fraction of fetched blocks that were squashed."""
+        if self.blocks_fetched == 0:
+            return 0.0
+        return self.blocks_squashed / self.blocks_fetched
+
+    def count(self, event: str, n: int = 1) -> None:
+        self.energy_events[event] += n
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles:            {self.cycles}",
+            f"blocks committed:  {self.blocks_committed}",
+            f"insts committed:   {self.insts_committed}  (IPC {self.ipc:.2f})",
+            f"blocks squashed:   {self.blocks_squashed}"
+            f"  (mispredicts {self.mispredictions}, violations {self.violations})",
+            f"prediction acc.:   {self.prediction_accuracy:.1%}"
+            f"  ({self.predictions} predictions)",
+            f"avg blocks inflight: {self.avg_inflight_blocks:.2f}",
+            f"LSQ nacks:         {self.nacks}",
+        ]
+        return "\n".join(lines)

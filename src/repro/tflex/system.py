@@ -1,0 +1,145 @@
+"""The TFlex chip: core array, networks, shared L2, DRAM, and the
+composition interface.
+
+A :class:`TFlexSystem` hosts any number of simultaneously running
+composed processors on disjoint core subsets (paper figure 1); they
+share the S-NUCA L2 and main memory, so multiprogrammed runs see real
+cache and bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import Program
+from repro.mem.dram import Dram
+from repro.mem.l2 import L2System
+from repro.noc import Network, Topology
+from repro.tflex.config import SystemConfig, TFLEX, tflex_config
+from repro.tflex.core import Core
+from repro.tflex.events import EventQueue
+from repro.tflex.placement import rectangle
+from repro.tflex.processor import ComposedProcessor
+
+
+class SimulationDeadlock(Exception):
+    """The event queue drained before every processor halted."""
+
+
+class TFlexSystem:
+    """One chip instance."""
+
+    def __init__(self, cfg: SystemConfig = TFLEX) -> None:
+        cfg.validate()
+        self.cfg = cfg
+        self.queue = EventQueue()
+        self.topology = Topology(cfg.mesh_width, cfg.mesh_height)
+        self.opn = Network(self.topology, channels=cfg.opn_channels,
+                           hop_latency=cfg.hop_latency, name="opn")
+        self.control = Network(self.topology, channels=cfg.control_channels,
+                               hop_latency=cfg.hop_latency, name="control")
+        self.cores = [Core(self, i) for i in range(cfg.num_cores)]
+        self.dram = Dram(latency=cfg.dram_latency, issue_gap=cfg.dram_issue_gap)
+        self.l2 = L2System(
+            self.topology, num_banks=cfg.l2_banks, bank_bytes=cfg.l2_bank_bytes,
+            assoc=cfg.l2_assoc, line_size=cfg.line_size,
+            tag_latency=cfg.l2_tag_latency,
+            l1_banks=lambda core_id: self.cores[core_id].dcache,
+            dram=self.dram)
+        self.procs: list[ComposedProcessor] = []
+
+    # ------------------------------------------------------------------
+    # Composition management
+    # ------------------------------------------------------------------
+
+    def compose(self, core_ids: list[int], program: Program,
+                name: Optional[str] = None, share_cores: bool = False,
+                max_inflight: Optional[int] = None) -> ComposedProcessor:
+        """Aggregate cores into a logical processor running ``program``."""
+        proc = ComposedProcessor(self, proc_id=len(self.procs),
+                                 core_ids=core_ids, program=program, name=name,
+                                 share_cores=share_cores,
+                                 max_inflight=max_inflight)
+        self.procs.append(proc)
+        return proc
+
+    def compose_smt(self, core_ids: list[int], programs: list[Program],
+                    names: Optional[list[str]] = None) -> list[ComposedProcessor]:
+        """Run several threads on ONE composition, SMT-style.
+
+        The threads share the cores' issue slots, caches, predictors,
+        and LSQ capacity, and split the block-frame budget evenly —
+        the paper's TRIPS SMT mode generalized to any composition size.
+        """
+        if not programs:
+            raise ValueError("compose_smt needs at least one program")
+        frames = max(1, len(core_ids) // len(programs))
+        procs = []
+        for index, program in enumerate(programs):
+            name = names[index] if names else f"smt{index}"
+            procs.append(self.compose(core_ids, program, name=name,
+                                      share_cores=True, max_inflight=frames))
+        return procs
+
+    def compose_rect(self, size: int, program: Program,
+                     origin: tuple[int, int] = (0, 0),
+                     name: Optional[str] = None) -> ComposedProcessor:
+        """Compose a contiguous ``size``-core rectangle at ``origin``."""
+        return self.compose(rectangle(self.cfg, size, origin), program, name)
+
+    def decompose(self, proc: ComposedProcessor) -> None:
+        """Release a processor's cores (it must have halted).
+
+        Core-private cache and predictor state is retained; the
+        directory protocol resolves stale L1 lines when the cores are
+        reused in a different composition (paper section 4.7).
+        """
+        if not proc.halted:
+            raise RuntimeError(f"{proc.name} still running")
+        proc.release_cores()
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run every composed processor to completion.
+
+        Returns the final cycle.  Raises :class:`SimulationDeadlock` if
+        forward progress stops, with a per-processor state dump.
+        """
+        for proc in self.procs:
+            if not proc.halted and proc.next_gseq == 0:
+                proc.start()
+
+        def all_halted() -> bool:
+            return all(p.halted for p in self.procs)
+
+        finished = self.queue.run(until=all_halted, max_cycles=max_cycles)
+        if not finished:
+            raise SimulationDeadlock(
+                f"cycle budget ({max_cycles}) exhausted\n" + self._dump())
+        if not all_halted():
+            raise SimulationDeadlock("event queue drained early\n" + self._dump())
+        for proc in self.procs:
+            if proc.stats.cycles == 0:
+                proc.stats.cycles = self.queue.now - proc.start_cycle
+        return self.queue.now
+
+    def _dump(self) -> str:
+        return "\n".join(p.debug_state() for p in self.procs)
+
+
+def run_program(program: Program, num_cores: int = 8,
+                cfg: Optional[SystemConfig] = None,
+                max_cycles: int = 10_000_000) -> ComposedProcessor:
+    """Convenience one-shot: run one program on an N-core composition.
+
+    Builds a chip just large enough when no config is given.
+    """
+    if cfg is None:
+        cfg = tflex_config(max(num_cores, 1))
+    system = TFlexSystem(cfg)
+    proc = system.compose_rect(num_cores, program)
+    system.run(max_cycles=max_cycles)
+    return proc

@@ -1,0 +1,63 @@
+"""Block-lifecycle tracing and ASCII timeline rendering.
+
+Enable with :meth:`ComposedProcessor.enable_block_trace` before running;
+every committed block then records its protocol milestones.  The
+timeline renderer draws fetch/execute/commit phases per block — the
+textual equivalent of the paper's figure 2 pipeline diagram, useful for
+teaching and for eyeballing protocol overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockTrace:
+    """Milestones of one committed block (absolute cycles)."""
+
+    gseq: int
+    label: str
+    owner_index: int
+    fetch_start: int
+    fetch_cmd: int
+    complete: int
+    commit_start: int
+    committed: int
+
+    @property
+    def lifetime(self) -> int:
+        return self.committed - self.fetch_start
+
+
+def render_timeline(traces: list[BlockTrace], width: int = 72) -> str:
+    """ASCII Gantt chart: one row per block.
+
+    Legend: ``f`` fetch/dispatch, ``x`` execute (fetch command to
+    completion), ``c`` commit protocol.
+    """
+    if not traces:
+        return "(no blocks traced)"
+    t0 = min(t.fetch_start for t in traces)
+    t1 = max(t.committed for t in traces)
+    span = max(1, t1 - t0)
+    scale = (width - 1) / span
+
+    def col(cycle: int) -> int:
+        return int((cycle - t0) * scale)
+
+    lines = [f"cycles {t0}..{t1}  ({span} total; "
+             f"1 column ~ {max(1, round(span / width))} cycles)"]
+    for trace in sorted(traces, key=lambda t: t.gseq):
+        row = [" "] * width
+        for start, end, char in (
+                (trace.fetch_start, trace.fetch_cmd, "f"),
+                (trace.fetch_cmd, trace.complete, "x"),
+                (trace.commit_start, trace.committed, "c")):
+            for i in range(col(start), max(col(start) + 1, col(end))):
+                if 0 <= i < width:
+                    row[i] = char
+        lines.append(f"B{trace.gseq:<4} {trace.label:<12} {''.join(row)}")
+    lines.append("legend: f fetch  x execute  c commit "
+                 "(overlapping rows = pipelined blocks)")
+    return "\n".join(lines)

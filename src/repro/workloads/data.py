@@ -1,0 +1,27 @@
+"""Deterministic pseudo-random input generation for workloads.
+
+A fixed-seed LCG keeps every benchmark's inputs — and therefore every
+simulated cycle count — reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+
+class Lcg:
+    """Numerical Recipes 64-bit LCG."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed * 2862933555777941757 + 3037000493) % (1 << 64)
+
+    def next(self) -> int:
+        self.state = (self.state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        return self.state >> 16
+
+    def ints(self, count: int, low: int, high: int) -> list[int]:
+        """``count`` integers in [low, high]."""
+        span = high - low + 1
+        return [low + self.next() % span for __ in range(count)]
+
+    def floats(self, count: int, low: float = -1.0, high: float = 1.0) -> list[float]:
+        span = high - low
+        return [low + (self.next() % 10_000) / 10_000.0 * span for __ in range(count)]

@@ -1,0 +1,121 @@
+"""Benchmark registry, categories, and output verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compiler import KernelProgram, compile_edge, compile_risc
+from repro.isa.program import Program
+from repro.risc.isa import RiscProgram
+from repro.workloads.hand import HAND_OPTIMIZED
+from repro.workloads.spec import SPEC_FP, SPEC_INT
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One suite entry.
+
+    ``category`` is ``hand``/``spec_int``/``spec_fp`` (paper Table 1);
+    ``ilp`` is the coarse high/low classification the paper uses to
+    order figure 6's x-axis.
+    """
+
+    name: str
+    category: str
+    ilp: str
+    factory: Callable[..., tuple[KernelProgram, dict]]
+
+    def build(self, scale: int = 1) -> tuple[KernelProgram, dict]:
+        """(kernel, expected-output map) at a given data scale."""
+        return self.factory(scale)
+
+    def edge_program(self, scale: int = 1) -> tuple[Program, dict, KernelProgram]:
+        kernel, expected = self.build(scale)
+        return compile_edge(kernel), expected, kernel
+
+    def risc_program(self, scale: int = 1) -> tuple[RiscProgram, dict, KernelProgram]:
+        kernel, expected = self.build(scale)
+        return compile_risc(kernel), expected, kernel
+
+
+_HIGH_ILP = {
+    "conv", "ct", "genalg", "autocor", "basefp", "bezier", "tblook",
+    "802.11b", "8b10b", "a2time", "mgrid", "swim", "art", "equake",
+}
+
+
+def _registry() -> dict[str, Benchmark]:
+    table: dict[str, Benchmark] = {}
+    for name, factory in HAND_OPTIMIZED.items():
+        table[name] = Benchmark(name, "hand",
+                                "high" if name in _HIGH_ILP else "low", factory)
+    for name, factory in SPEC_INT.items():
+        table[name] = Benchmark(name, "spec_int",
+                                "high" if name in _HIGH_ILP else "low", factory)
+    for name, factory in SPEC_FP.items():
+        table[name] = Benchmark(name, "spec_fp",
+                                "high" if name in _HIGH_ILP else "low", factory)
+    return table
+
+
+#: All 26 benchmarks by name.
+BENCHMARKS: dict[str, Benchmark] = _registry()
+
+
+def hand_optimized() -> list[Benchmark]:
+    return [b for b in BENCHMARKS.values() if b.category == "hand"]
+
+
+def spec_int() -> list[Benchmark]:
+    return [b for b in BENCHMARKS.values() if b.category == "spec_int"]
+
+
+def spec_fp() -> list[Benchmark]:
+    return [b for b in BENCHMARKS.values() if b.category == "spec_fp"]
+
+
+def compiled_suite() -> list[Benchmark]:
+    return spec_int() + spec_fp()
+
+
+# ----------------------------------------------------------------------
+# Output verification
+# ----------------------------------------------------------------------
+
+DATA_BASE = 0x10_0000
+
+
+def read_array_values(kernel: KernelProgram, load, array_name: str) -> list:
+    """Read one array back given ``load(addr, size, fp) -> value``.
+
+    Relies on the deterministic layout both backends use: arrays are
+    placed consecutively from the data base in declaration order."""
+    offset = DATA_BASE
+    for arr in kernel.arrays:
+        if arr.name == array_name:
+            return [load(offset + 8 * i, 8, arr.elem == "float")
+                    for i in range(arr.size)]
+        offset += arr.size * arr.elem_size
+    raise KeyError(f"{kernel.name}: no array {array_name!r}")
+
+
+def verify_edge_run(kernel: KernelProgram, memory, expected: dict,
+                    rel_tol: float = 1e-9) -> None:
+    """Assert that a simulator/interpreter memory matches the reference.
+
+    ``expected`` maps array names to value prefixes (shorter lists check
+    only the written prefix)."""
+    for array_name, values in expected.items():
+        got = read_array_values(
+            kernel, lambda a, s, fp: memory.load(a, s, fp=fp), array_name)
+        for i, reference in enumerate(values):
+            actual = got[i]
+            if isinstance(reference, float):
+                tol = max(abs(reference) * rel_tol, 1e-12)
+                if abs(actual - reference) > tol:
+                    raise AssertionError(
+                        f"{kernel.name}.{array_name}[{i}]: {actual!r} != {reference!r}")
+            elif actual != reference:
+                raise AssertionError(
+                    f"{kernel.name}.{array_name}[{i}]: {actual!r} != {reference!r}")

@@ -1,0 +1,200 @@
+"""Small DSL kernels used by compiler tests, with reference results
+computed in Python."""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    Array, Assign, Bin, Call, Cmp, Const, For, Function, If, ItoF, FtoI,
+    KernelProgram, Load, Return, Store, Un, Var,
+)
+
+
+def saxpy(n: int = 24, unroll: int = 4):
+    """y[i] = a*x[i] + y[i] (float)."""
+    xs = [0.5 * i - 3.0 for i in range(n)]
+    ys = [0.25 * i for i in range(n)]
+    a = 2.5
+    kernel = KernelProgram(
+        name="saxpy",
+        arrays=[Array("x", "float", n, xs), Array("y", "float", n, ys)],
+        functions=[Function("main", body=[
+            For("i", Const(0), Const(n), unroll=unroll, body=[
+                Store("y", Var("i"),
+                      Bin("+", Bin("*", Const(a), Load("x", Var("i"))),
+                          Load("y", Var("i")))),
+            ]),
+        ])])
+    expected = {"y": [a * x + y for x, y in zip(xs, ys)]}
+    return kernel, expected
+
+
+def prefix_max(n: int = 20):
+    """out[i] = max(in[0..i]) via conditionals; also counts updates."""
+    data = [(13 * i) % 17 - 5 for i in range(n)]
+    kernel = KernelProgram(
+        name="prefix_max",
+        arrays=[Array("inp", "int", n, data), Array("out", "int", n),
+                Array("meta", "int", 1)],
+        functions=[Function("main", body=[
+            Assign("best", Load("inp", Const(0))),
+            Assign("updates", Const(0)),
+            For("i", Const(0), Const(n), body=[
+                Assign("v", Load("inp", Var("i"))),
+                If(Cmp(">", Var("v"), Var("best")), then=[
+                    Assign("best", Var("v")),
+                    Assign("updates", Bin("+", Var("updates"), Const(1))),
+                ]),
+                Store("out", Var("i"), Var("best")),
+            ]),
+            Store("meta", Const(0), Var("updates")),
+        ])])
+    out, best, updates = [], data[0], 0
+    for v in data:
+        if v > best:
+            best = v
+            updates += 1
+        out.append(best)
+    expected = {"out": out, "meta": [updates]}
+    return kernel, expected
+
+
+def nested_if(n: int = 18):
+    """Three-way classification with nested conditionals and else paths."""
+    data = [(7 * i) % 11 - 5 for i in range(n)]
+    kernel = KernelProgram(
+        name="nested_if",
+        arrays=[Array("inp", "int", n, data), Array("cls", "int", n)],
+        functions=[Function("main", body=[
+            For("i", Const(0), Const(n), body=[
+                Assign("v", Load("inp", Var("i"))),
+                Assign("c", Const(0)),
+                If(Cmp("<", Var("v"), Const(0)), then=[
+                    Assign("c", Const(-1)),
+                ], else_=[
+                    If(Cmp(">", Var("v"), Const(2)), then=[
+                        Assign("c", Const(2)),
+                    ], else_=[
+                        Assign("c", Const(1)),
+                    ]),
+                ]),
+                Store("cls", Var("i"), Var("c")),
+            ]),
+        ])])
+    expected = {"cls": [(-1 if v < 0 else (2 if v > 2 else 1)) for v in data]}
+    return kernel, expected
+
+
+def call_chain():
+    """Function calls: result = f(g(3), g(5)) where g(x)=x*x+1, f=sum."""
+    kernel = KernelProgram(
+        name="call_chain",
+        arrays=[Array("out", "int", 1)],
+        functions=[
+            Function("main", body=[
+                Call("g", [Const(3)], dest="a"),
+                Call("g", [Const(5)], dest="b"),
+                Call("f", [Var("a"), Var("b")], dest="r"),
+                Store("out", Const(0), Var("r")),
+            ]),
+            Function("g", params=["x"], body=[
+                Return(Bin("+", Bin("*", Var("x"), Var("x")), Const(1))),
+            ]),
+            Function("f", params=["p", "q"], body=[
+                Return(Bin("+", Var("p"), Var("q"))),
+            ]),
+        ])
+    expected = {"out": [(3 * 3 + 1) + (5 * 5 + 1)]}
+    return kernel, expected
+
+
+def histogram(n: int = 40, buckets: int = 8):
+    """Scatter with data-dependent store addresses."""
+    data = [(i * 37) % buckets for i in range(n)]
+    kernel = KernelProgram(
+        name="histogram",
+        arrays=[Array("inp", "int", n, data), Array("hist", "int", buckets)],
+        functions=[Function("main", body=[
+            For("i", Const(0), Const(n), body=[
+                Assign("b", Load("inp", Var("i"))),
+                Assign("old", Load("hist", Var("b"))),
+                Store("hist", Var("b"), Bin("+", Var("old"), Const(1))),
+            ]),
+        ])])
+    hist = [0] * buckets
+    for value in data:
+        hist[value] += 1
+    expected = {"hist": hist}
+    return kernel, expected
+
+
+def type_mix(n: int = 16):
+    """Int/float conversions: accumulate sqrt of positive ints."""
+    data = [(11 * i) % 9 - 3 for i in range(n)]
+    kernel = KernelProgram(
+        name="type_mix",
+        arrays=[Array("inp", "int", n, data), Array("out", "float", 1),
+                Array("count", "int", 1)],
+        functions=[Function("main", body=[
+            Assign("acc", Const(0.0)),
+            Assign("k", Const(0)),
+            For("i", Const(0), Const(n), body=[
+                Assign("v", Load("inp", Var("i"))),
+                If(Cmp(">", Var("v"), Const(0)), then=[
+                    Assign("acc", Bin("+", Var("acc"), Un("sqrt", ItoF(Var("v"))))),
+                    Assign("k", Bin("+", Var("k"), Const(1))),
+                ]),
+            ]),
+            Store("out", Const(0), Var("acc")),
+            Store("count", Const(0), Var("k")),
+        ])])
+    import math
+    acc = sum(math.sqrt(v) for v in data if v > 0)
+    expected = {"out": [acc], "count": [sum(1 for v in data if v > 0)]}
+    return kernel, expected
+
+
+def big_straightline(terms: int = 60):
+    """Oversized straight-line code forcing block splitting."""
+    kernel = KernelProgram(
+        name="big_straightline",
+        arrays=[Array("out", "int", 1)],
+        functions=[Function("main", body=(
+            [Assign("acc", Const(0))]
+            + [Assign("acc", Bin("+", Bin("*", Var("acc"), Const(3)),
+                                 Const(k))) for k in range(terms)]
+            + [Store("out", Const(0), Var("acc"))]
+        ))])
+    acc = 0
+    for k in range(terms):
+        acc = acc * 3 + k
+    from repro.util import wrap64
+    expected = {"out": [wrap64(acc)]}
+    return kernel, expected
+
+
+ALL_KERNELS = {
+    "saxpy": saxpy,
+    "prefix_max": prefix_max,
+    "nested_if": nested_if,
+    "call_chain": call_chain,
+    "histogram": histogram,
+    "type_mix": type_mix,
+    "big_straightline": big_straightline,
+}
+
+
+def read_array(kernel: KernelProgram, memory_load, array_name: str):
+    """Read an array's contents given a ``load(addr, size, fp)`` callable.
+
+    Array bases are recomputed from the deterministic layout order
+    (arrays are placed sequentially from the data base, 8-byte
+    elements)."""
+    offset = 0x10_0000
+    for arr in kernel.arrays:
+        if arr.name == array_name:
+            return [
+                memory_load(offset + 8 * i, 8, arr.elem == "float")
+                for i in range(arr.size)
+            ]
+        offset += arr.size * arr.elem_size
+    raise KeyError(array_name)

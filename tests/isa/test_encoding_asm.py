@@ -1,0 +1,173 @@
+"""Round-trip tests for the binary encoding and the textual assembler."""
+
+import pytest
+
+from repro.isa import BlockBuilder, Interpreter, Program
+from repro.isa.asm import AsmError, assemble, parse_instruction
+from repro.isa.encoding import (
+    EncodingError,
+    decode_program,
+    encode_program,
+    OPCODE_INDEX,
+)
+from repro.workloads import BENCHMARKS
+
+from tests.sample_programs import ALL_SAMPLES
+
+
+def _structurally_equal(a: Program, b: Program) -> bool:
+    if a.entry != b.entry or a.order != b.order:
+        return False
+    for label in a.order:
+        if a.blocks[label] != b.blocks[label]:
+            return False
+    return True
+
+
+class TestBinaryEncoding:
+    def test_opcode_index_stable_and_total(self):
+        from repro.isa.opcodes import OPCODES
+        assert set(OPCODE_INDEX) == set(OPCODES)
+        assert len(set(OPCODE_INDEX.values())) == len(OPCODES)
+        assert max(OPCODE_INDEX.values()) < 512   # fits 9 bits
+
+    @pytest.mark.parametrize("name", sorted(ALL_SAMPLES))
+    def test_sample_roundtrip(self, name):
+        program, __ = ALL_SAMPLES[name]()
+        decoded = decode_program(encode_program(program))
+        assert _structurally_equal(program, decoded)
+
+    @pytest.mark.parametrize("name", ["conv", "mcf", "8b10b", "equake", "bezier"])
+    def test_workload_roundtrip(self, name):
+        program, __, __k = BENCHMARKS[name].edge_program()
+        decoded = decode_program(encode_program(program))
+        assert _structurally_equal(program, decoded)
+
+    def test_decoded_program_executes_identically(self):
+        program, check = ALL_SAMPLES["predicated_classify"]()
+        decoded = decode_program(encode_program(program))
+        # Re-attach loader state (data/reg_init are not part of the image).
+        decoded.data = program.data
+        decoded.reg_init = program.reg_init
+        original = Interpreter(program)
+        golden = original.run(record_path=True)
+        replay = Interpreter(decoded)
+        rerun = replay.run(record_path=True)
+        assert golden.path == rerun.path
+        assert original.regs == replay.regs
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"NOPE" + b"\x00" * 16)
+
+    def test_image_is_compact(self):
+        program, __, __k = BENCHMARKS["conv"].edge_program()
+        image = encode_program(program)
+        # ~9-18 bytes per instruction plus headers.
+        assert len(image) < program.total_instructions * 30 + 1024
+
+
+class TestAssembler:
+    def test_disassemble_assemble_roundtrip(self):
+        for name in sorted(ALL_SAMPLES):
+            program, __ = ALL_SAMPLES[name]()
+            text = program.disassemble()
+            parsed = assemble(text)
+            assert _structurally_equal(program, parsed), name
+
+    def test_workload_roundtrip(self):
+        program, __, __k = BENCHMARKS["dither"].edge_program()
+        parsed = assemble(program.disassemble())
+        assert _structurally_equal(program, parsed)
+
+    def test_hand_written_listing(self):
+        text = """
+        ; a tiny counter
+        block start:
+          W0   write r5
+          I0   MOVI   #41 => I1.l
+          I1   ADDI   #1 => W0
+          I2   BRO    [exit 0] -> fin
+
+        block fin:
+          I0   HALT   [exit 0]
+        """
+        program = assemble(text)
+        interp = Interpreter(program)
+        interp.run()
+        assert interp.regs[5] == 42
+
+    def test_entry_header_respected(self):
+        text = """
+        ; program demo  entry=second
+        block first:
+          I0   HALT   [exit 0]
+        block second:
+          I0   HALT   [exit 0]
+        """
+        program = assemble(text)
+        assert program.entry == "second"
+        assert program.name == "demo"
+
+    def test_explicit_entry_overrides(self):
+        text = "block only:\n  I0   HALT   [exit 0]\n"
+        program = assemble(text, entry="only")
+        assert program.entry == "only"
+
+    def test_parse_instruction_fields(self):
+        inst = parse_instruction("I3   STD    <!p> #8 [lsq 2]", 1)
+        assert inst.iid == 3
+        assert inst.op.name == "STD"
+        assert inst.pred is False
+        assert inst.imm == 8
+        assert inst.lsq_id == 2
+
+    def test_parse_predicated_branch(self):
+        inst = parse_instruction("I4   BRO    <p> [exit 1] -> loop", 1)
+        assert inst.pred is True
+        assert inst.exit_id == 1
+        assert inst.branch_target == "loop"
+
+    def test_parse_float_and_label_immediates(self):
+        assert parse_instruction("I0 MOVI #0.5", 1).imm == 0.5
+        imm = parse_instruction("I0 MOVI #&target", 1).imm
+        from repro.isa.instruction import LabelRef
+        assert imm == LabelRef("target")
+
+    def test_errors(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            parse_instruction("I0 FROB", 3)
+        with pytest.raises(AsmError, match="bad target"):
+            parse_instruction("I0 MOVI #1 => Q9", 2)
+        with pytest.raises(AsmError, match="no blocks"):
+            assemble("; empty\n")
+        with pytest.raises(AsmError, match="before first block"):
+            assemble("I0 HALT [exit 0]\n")
+
+    def test_invalid_block_caught_by_validation(self):
+        text = """
+        block bad:
+          I0   ADD    => W0
+          I1   HALT   [exit 0]
+        """
+        with pytest.raises(Exception):
+            assemble(text)
+
+
+class TestPropertyRoundtrips:
+    """Randomly generated valid programs survive both the textual and
+    binary round trips exactly."""
+
+    def test_random_programs_roundtrip(self):
+        from hypothesis import given, settings
+        from tests.tflex.test_random_programs import random_program
+
+        @settings(max_examples=30, deadline=None)
+        @given(random_program())
+        def check(program):
+            text_trip = assemble(program.disassemble())
+            assert _structurally_equal(program, text_trip)
+            binary_trip = decode_program(encode_program(program))
+            assert _structurally_equal(program, binary_trip)
+
+        check()

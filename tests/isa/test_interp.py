@@ -1,0 +1,177 @@
+"""Golden-model interpreter tests, including contract-violation detection."""
+
+import pytest
+
+from repro.isa import BlockBuilder, Interpreter, InterpError, Program
+from repro.isa.program import HALT_ADDR, ProgramError
+
+from tests.sample_programs import ALL_SAMPLES, ArchState
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SAMPLES))
+def test_sample_programs(name):
+    program, check = ALL_SAMPLES[name]()
+    interp = Interpreter(program)
+    result = interp.run()
+    assert result.halted
+    check(ArchState(regs=interp.regs, mem=interp.mem))
+
+
+def test_path_recording():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    interp = Interpreter(program)
+    result = interp.run(record_path=True)
+    labels = [step[0] for step in result.path]
+    assert labels[0] == "init"
+    assert labels[-1] == "done"
+    assert labels.count("loop") == 10
+    assert result.path[-1][2] == HALT_ADDR
+
+
+def test_insts_fired_counted():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    result = Interpreter(program).run()
+    # init: 2 movi + branch = 3; loop x10: read-fed adds etc.; done: 1.
+    assert result.insts_fired > result.blocks_executed
+    assert result.blocks_executed == 12
+
+
+def test_block_budget_enforced():
+    prog = Program(entry="spin", name="spin")
+    b = BlockBuilder("spin")
+    b.branch("BRO", target="spin", exit_id=0)
+    prog.add_block(b.build())
+    with pytest.raises(InterpError):
+        Interpreter(prog).run(max_blocks=100)
+
+
+def test_memory_isolated_until_commit():
+    """execute_block must not mutate architectural state."""
+    program, __ = ALL_SAMPLES["store_load_forward"]()
+    interp = Interpreter(program)
+    block = program.blocks["only"]
+    before = interp.mem.read_bytes(0x10_0000, 16)
+    outcome = interp.execute_block(block)
+    assert interp.mem.read_bytes(0x10_0000, 16) == before
+    assert interp.regs[10] == 0
+    interp._commit(outcome)
+    assert interp.regs[10] == 0xBEEF + 1
+
+
+def test_unresolved_store_slot_detected():
+    """A predicated store without a complementary NULL must be caught."""
+    prog = Program(entry="bad", name="bad_store")
+    b = BlockBuilder("bad")
+    p = b.op("TEQI", b.movi(0), imm=1)         # false
+    addr = b.movi(0x2000, pred=(p, True))
+    val = b.movi(5, pred=(p, True))
+    b.store(addr, val, pred=(p, True))          # never fires; no null pair
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+    with pytest.raises(InterpError, match="store slots"):
+        Interpreter(prog).run()
+
+
+def test_unresolved_write_slot_detected():
+    prog = Program(entry="bad", name="bad_write")
+    b = BlockBuilder("bad")
+    p = b.op("TEQI", b.movi(0), imm=1)         # false
+    b.write(9, b.movi(5, pred=(p, True)))       # producer squashed, no null
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+    with pytest.raises(InterpError, match="write slots"):
+        Interpreter(prog).run()
+
+
+def test_null_write_resolves_slot():
+    prog = Program(entry="ok", name="null_write")
+    b = BlockBuilder("ok")
+    p = b.op("TEQI", b.movi(0), imm=1)          # false
+    b.write(9, b.movi(5, pred=(p, True)))
+    b.null_write(9, pred=(p, False))
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+    interp = Interpreter(prog)
+    interp.regs[9] = 77
+    interp.run()
+    assert interp.regs[9] == 77                  # null write leaves register
+
+
+def test_two_branches_firing_detected():
+    prog = Program(entry="bad", name="two_branches")
+    b = BlockBuilder("bad")
+    p = b.op("TEQI", b.movi(1), imm=1)          # true
+    q = b.op("TEQI", b.movi(2), imm=2)          # also true
+    b.branch("HALT", exit_id=0, pred=(p, True))
+    b.branch("HALT", exit_id=1, pred=(q, True))
+    prog.add_block(b.build())
+    with pytest.raises(InterpError, match="second branch"):
+        Interpreter(prog).run()
+
+
+def test_no_branch_fires_detected():
+    prog = Program(entry="bad", name="no_branch")
+    b = BlockBuilder("bad")
+    p = b.op("TEQI", b.movi(0), imm=1)          # false
+    b.branch("HALT", exit_id=0, pred=(p, True))  # squashed
+    prog.add_block(b.build())
+    with pytest.raises(InterpError, match="without a branch"):
+        Interpreter(prog).run()
+
+
+def test_branch_to_unknown_block_rejected_at_validate():
+    prog = Program(entry="a", name="dangling")
+    b = BlockBuilder("a")
+    b.branch("BRO", target="nowhere", exit_id=0)
+    prog.add_block(b.build())
+    with pytest.raises(ProgramError):
+        Interpreter(prog)
+
+
+def test_load_sees_older_cross_block_store():
+    """A store committed by an earlier block is visible to later blocks."""
+    prog = Program(entry="first", name="cross_block")
+    scratch = prog.alloc_data(8)
+
+    b = BlockBuilder("first")
+    b.store(b.movi(scratch), b.movi(1234))
+    b.branch("BRO", target="second", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("second")
+    b.write(10, b.load(b.movi(scratch)))
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    interp = Interpreter(prog)
+    interp.run()
+    assert interp.regs[10] == 1234
+
+
+def test_load_waits_for_older_store_slot():
+    """Load after a predicated store/null pair gets the right value on
+    both predicate paths."""
+    for flag, expected in ((1, 55), (0, 11)):
+        prog = Program(entry="only", name="pred_store_load")
+        scratch = prog.add_words([11])
+        b = BlockBuilder("only")
+        p = b.op("TEQI", b.movi(flag), imm=1)
+        addr_t = b.movi(scratch, pred=(p, True))
+        val = b.movi(55, pred=(p, True))
+        st = b.store(addr_t, val, pred=(p, True))
+        b.null_store(st, pred=(p, False))
+        loaded = b.load(b.movi(scratch))
+        b.write(10, loaded)
+        b.branch("HALT", exit_id=0)
+        prog.add_block(b.build())
+        interp = Interpreter(prog)
+        interp.run()
+        assert interp.regs[10] == expected, flag
+
+
+def test_exit_ids_reported():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    result = Interpreter(program).run(record_path=True)
+    loop_exits = [e for (label, e, __) in result.path if label == "loop"]
+    assert set(loop_exits[:-1]) == {0}
+    assert loop_exits[-1] == 1

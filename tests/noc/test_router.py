@@ -1,0 +1,114 @@
+"""Router-level mesh tests, including cross-validation against the
+link-reservation timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import Network, Topology
+from repro.noc.router import RouterNetwork
+
+
+def make(width=4, height=4, depth=4):
+    return RouterNetwork(Topology(width, height), queue_depth=depth)
+
+
+class TestBasics:
+    def test_single_packet_zero_load(self):
+        net = make()
+        assert net.inject(0, 3)
+        cycles = net.run_until_drained()
+        # 3 hops + ejection arbitration overhead.
+        assert 3 <= cycles <= 6
+        assert net.stats.delivered == 1
+        assert net.stats.total_hops == 3
+
+    def test_local_delivery(self):
+        net = make()
+        net.inject(5, 5, payload="x")
+        delivered = []
+        while not delivered:
+            delivered = net.step()
+        assert delivered[0].payload == "x"
+        assert delivered[0].hops == 0
+
+    def test_payload_carried(self):
+        seen = []
+        net = RouterNetwork(Topology(2, 2),
+                            on_deliver=lambda p, t: seen.append((p.payload, t)))
+        net.inject(0, 3, payload=42)
+        net.run_until_drained()
+        assert seen[0][0] == 42
+
+    def test_injection_backpressure(self):
+        net = make(depth=1)
+        assert net.inject(0, 15)
+        assert not net.inject(0, 15)   # local queue full
+        net.step()
+        assert net.inject(0, 15)
+
+    def test_many_packets_all_delivered(self):
+        net = make()
+        count = 0
+        for src in range(16):
+            for dst in range(16):
+                if net.inject(src, dst):
+                    count += 1
+        net.run_until_drained()
+        assert net.stats.delivered == count
+
+    def test_contention_detected(self):
+        """Many senders to one hotspot must serialize at its ejection."""
+        net = make()
+        for src in range(16):
+            if src != 5:
+                net.inject(src, 5)
+        cycles = net.run_until_drained()
+        assert cycles >= 15          # one ejection per cycle at the hotspot
+        assert net.stats.stalls > 0
+
+    def test_dimension_order_no_deadlock_under_load(self):
+        net = make(width=4, height=8, depth=2)
+        injected = 0
+        for round_no in range(40):
+            for node in range(32):
+                if net.inject(node, (node * 7 + round_no) % 32):
+                    injected += 1
+            net.step()
+        net.run_until_drained()
+        assert net.stats.delivered == injected
+
+
+class TestAgainstReservationModel:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    min_size=1, max_size=24))
+    def test_latency_models_agree_roughly(self, flows):
+        """Average latencies of the two models stay within a small
+        factor for random traffic injected in one burst."""
+        topo = Topology(4, 4)
+        reservation = Network(topo, channels=1)
+        arrivals = [reservation.delay(s, d, 0) for s, d in flows if s != d]
+        if not arrivals:
+            return
+        reservation_mean = sum(arrivals) / len(arrivals)
+
+        detailed = RouterNetwork(topo, queue_depth=64)
+        pending = [f for f in flows if f[0] != f[1]]
+        for s, d in pending:
+            assert detailed.inject(s, d)
+        detailed.run_until_drained()
+        detailed_mean = detailed.stats.average_latency
+
+        assert detailed_mean <= reservation_mean * 3 + 4
+        assert reservation_mean <= detailed_mean * 3 + 4
+
+    def test_zero_load_agreement(self):
+        topo = Topology(4, 8)
+        reservation = Network(topo, channels=1)
+        for src, dst in ((0, 31), (3, 28), (0, 3), (12, 15)):
+            expected = reservation.zero_load_delay(src, dst)
+            detailed = RouterNetwork(topo)
+            detailed.inject(src, dst)
+            cycles = detailed.run_until_drained()
+            # Detailed model adds ejection/arbitration cycles only.
+            assert expected <= cycles <= expected + 3

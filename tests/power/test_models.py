@@ -1,0 +1,101 @@
+"""Tests for the area and energy models."""
+
+from collections import Counter
+
+import pytest
+
+from repro.power import AreaModel, EnergyModel, EnergyParams
+from repro.tflex import run_program
+from repro.workloads import BENCHMARKS
+
+
+class TestAreaModel:
+    def test_processor_scales_linearly(self):
+        model = AreaModel()
+        assert model.processor_mm2(8) == pytest.approx(8 * model.core_mm2)
+        assert model.processor_mm2(32) == pytest.approx(32 * model.core_mm2)
+
+    def test_trips_equals_8_core_tflex(self):
+        """Paper section 6.1: an 8-core TFlex processor has the same
+        area (and issue width) as the TRIPS processor."""
+        model = AreaModel()
+        assert model.trips_mm2 == pytest.approx(model.processor_mm2(8))
+
+    def test_die_anchor(self):
+        """8 cores + 1.5MB L2 fit an 18x18 die (paper section 6.2)."""
+        model = AreaModel()
+        assert model.processor_mm2(8) + model.l2_mm2(1.5) < 18 * 18
+
+    def test_45nm_chip_plausible(self):
+        """A 32-core chip + 4MB L2 at 130nm, scaled by the classic ~4x
+        per two nodes, lands near the paper's 12x12 at 45nm."""
+        model = AreaModel()
+        mm2_45nm = model.chip_mm2(32, 4.0) / 8.0   # 130 -> 90 -> 65 -> 45
+        assert mm2_45nm < 160
+
+    def test_perf_per_area_metric(self):
+        model = AreaModel()
+        small = model.perf_per_area(cycles=1000, num_cores=2)
+        large = model.perf_per_area(cycles=900, num_cores=16)
+        # 10% faster on 8x the area is far less area-efficient.
+        assert small > large
+
+    def test_component_table_renders(self):
+        text = AreaModel().table()
+        assert "floating-point" in text
+        assert "TRIPS" in text
+
+
+class TestEnergyModel:
+    def test_breakdown_categories(self):
+        model = EnergyModel()
+        events = Counter(alu_op=1000, fpu_op=10, dcache_read=100,
+                         opn_hop=50, l2_access=5, icache_access=80)
+        breakdown = model.breakdown(events, cycles=1000, num_cores=4,
+                                    dram_requests=2)
+        for category in ("fetch", "execution", "dcache", "routers", "l2",
+                         "dram/io", "clock", "leakage"):
+            assert category in breakdown.watts
+        assert breakdown.total > 0
+        assert "total" in breakdown.table()
+
+    def test_clock_scales_with_cores(self):
+        model = EnergyModel()
+        events = Counter()
+        p4 = model.breakdown(events, cycles=1000, num_cores=4)
+        p8 = model.breakdown(events, cycles=1000, num_cores=8)
+        assert p8.watts["clock"] == pytest.approx(2 * p4.watts["clock"])
+        assert p8.watts["leakage"] == pytest.approx(2 * p4.watts["leakage"])
+
+    def test_leakage_fraction_plausible(self):
+        """Paper: leakage lands at 8-10% of total for typical runs."""
+        program, __, __k = BENCHMARKS["conv"].edge_program()
+        proc = run_program(program, num_cores=8)
+        system_dram = 0   # negligible for this small kernel
+        breakdown = EnergyModel().breakdown(
+            proc.stats.energy_events, proc.stats.cycles, proc.ncores,
+            dram_requests=system_dram)
+        fraction = breakdown.watts["leakage"] / breakdown.total
+        assert 0.03 < fraction < 0.25
+
+    def test_clock_is_major_component(self):
+        """Without clock gating, the clock tree dominates (Table 2)."""
+        program, __, __k = BENCHMARKS["conv"].edge_program()
+        proc = run_program(program, num_cores=8)
+        breakdown = EnergyModel().breakdown(
+            proc.stats.energy_events, proc.stats.cycles, proc.ncores)
+        assert breakdown.watts["clock"] == max(
+            v for k, v in breakdown.watts.items())
+
+    def test_trips_params_raise_clock_at_equal_area(self):
+        """16 TRIPS tiles vs 8 TFlex cores at equal area: more total
+        clock power (the 2x-FPU effect, paper section 6.3)."""
+        events = Counter()
+        tflex = EnergyModel().breakdown(events, cycles=1000, num_cores=8)
+        trips = EnergyModel(EnergyParams.trips()).breakdown(
+            events, cycles=1000, num_cores=16)
+        assert trips.watts["clock"] > tflex.watts["clock"]
+
+    def test_perf2_per_watt(self):
+        assert EnergyModel.perf2_per_watt(1000, 2.0) == pytest.approx(
+            (1e-3) ** 2 / 2.0)

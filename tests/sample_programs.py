@@ -1,0 +1,296 @@
+"""Hand-built EDGE programs shared by interpreter and simulator tests.
+
+Each factory returns ``(program, check)`` where ``check(interp_or_sim_state)``
+asserts the architectural post-state.  State is presented as a simple
+namespace with ``regs`` (list) and ``mem`` (FlatMemory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import BlockBuilder, Program
+from repro.mem.flatmem import FlatMemory
+
+
+@dataclass
+class ArchState:
+    regs: list
+    mem: FlatMemory
+
+
+def counted_loop(n: int = 10) -> tuple[Program, callable]:
+    """Sum 1..n with a two-block loop: r10 = total, r11 = i."""
+    prog = Program(entry="init", name="counted_loop")
+
+    b = BlockBuilder("init")
+    b.write(10, b.movi(0))
+    b.write(11, b.movi(1))
+    b.branch("BRO", target="loop", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("loop")
+    total = b.read(10)
+    i = b.read(11)
+    new_total = b.op("ADD", total, i)
+    new_i = b.op("ADDI", i, imm=1)
+    b.write(10, new_total)
+    b.write(11, new_i)
+    p = b.op("TLEI", new_i, imm=n)
+    b.branch("BRO", target="loop", exit_id=0, pred=(p, True))
+    b.branch("BRO", target="done", exit_id=1, pred=(p, False))
+    prog.add_block(b.build())
+
+    b = BlockBuilder("done")
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    expected = n * (n + 1) // 2
+
+    def check(state: ArchState) -> None:
+        assert state.regs[10] == expected, (state.regs[10], expected)
+        assert state.regs[11] == n + 1
+
+    return prog, check
+
+
+def vector_sum(n: int = 16) -> tuple[Program, callable]:
+    """Sum an n-element array of 64-bit ints into r10; result also stored."""
+    prog = Program(entry="init", name="vector_sum")
+    values = [3 * i - 7 for i in range(n)]
+    base = prog.add_words(values)
+    out = prog.alloc_data(8)
+
+    b = BlockBuilder("init")
+    b.write(10, b.movi(0))          # acc
+    b.write(11, b.movi(base))       # ptr
+    b.write(12, b.movi(base + 8 * n))  # end
+    b.write(13, b.movi(out))        # out ptr
+    b.branch("BRO", target="loop", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("loop")
+    acc = b.read(10)
+    ptr = b.read(11)
+    end = b.read(12)
+    elem = b.load(ptr)
+    new_acc = b.op("ADD", acc, elem)
+    new_ptr = b.op("ADDI", ptr, imm=8)
+    b.write(10, new_acc)
+    b.write(11, new_ptr)
+    p = b.op("TLT", new_ptr, end)
+    b.branch("BRO", target="loop", exit_id=0, pred=(p, True))
+    b.branch("BRO", target="fini", exit_id=1, pred=(p, False))
+    prog.add_block(b.build())
+
+    b = BlockBuilder("fini")
+    acc = b.read(10)
+    outp = b.read(13)
+    b.store(outp, acc)
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    expected = sum(values)
+
+    def check(state: ArchState) -> None:
+        assert state.regs[10] == expected, (state.regs[10], expected)
+        assert state.mem.load(out, 8) == expected
+
+    return prog, check
+
+
+def predicated_classify(n: int = 12) -> tuple[Program, callable]:
+    """Predication test: y[i] = x[i] if x[i] >= 0 else -x[i]; also count
+    negatives.  Exercises predicate-merged values and null stores."""
+    prog = Program(entry="init", name="predicated_classify")
+    values = [((7 * i) % 11) - 5 for i in range(n)]
+    xs = prog.add_words(values)
+    ys = prog.add_words([0] * n)
+    flags = prog.add_words([0] * n)
+
+    b = BlockBuilder("init")
+    b.write(10, b.movi(0))       # i
+    b.write(11, b.movi(0))       # negative count
+    b.branch("BRO", target="loop", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("loop")
+    i = b.read(10)
+    negs = b.read(11)
+    offset = b.op("SHLI", i, imm=3)
+    xaddr = b.op("ADDI", offset, imm=xs)
+    x = b.load(xaddr)
+    p = b.op("TLTI", x, imm=0)            # x < 0
+    neg_x = b.op("NEG", x, pred=(p, True))
+    pos_x = b.mov(x, pred=(p, False))
+    # Predicate-merged |x| feeds the store via a MOV join.
+    y = b.mov(neg_x)
+    # Both producers target the same consumer operand: emulate by having
+    # pos_x also feed the store address path.  Simpler: two predicated
+    # stores to the same location, one per path.
+    yaddr = b.op("ADDI", offset, imm=ys)
+    st_neg = b.store(yaddr, y, pred=(p, True))
+    b.null_store(st_neg, pred=(p, False))
+    st_pos = b.store(yaddr, pos_x, pred=(p, False))
+    b.null_store(st_pos, pred=(p, True))
+    # Flag store only on the negative path (exercises NULL for stores).
+    faddr = b.op("ADDI", offset, imm=flags)
+    one = b.movi(1, pred=(p, True))
+    st_flag = b.store(faddr, one, pred=(p, True))
+    b.null_store(st_flag, pred=(p, False))
+    # negs += (x < 0), using the test value as data.
+    new_negs = b.op("ADD", negs, p)
+    b.write(11, new_negs)
+    new_i = b.op("ADDI", i, imm=1)
+    b.write(10, new_i)
+    q = b.op("TLTI", new_i, imm=n)
+    b.branch("BRO", target="loop", exit_id=0, pred=(q, True))
+    b.branch("BRO", target="done", exit_id=1, pred=(q, False))
+    prog.add_block(b.build())
+
+    b = BlockBuilder("done")
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    def check(state: ArchState) -> None:
+        for i, x in enumerate(values):
+            assert state.mem.load(ys + 8 * i, 8) == abs(x), (i, x)
+            assert state.mem.load(flags + 8 * i, 8) == (1 if x < 0 else 0)
+        assert state.regs[11] == sum(1 for x in values if x < 0)
+
+    return prog, check
+
+
+def call_return() -> tuple[Program, callable]:
+    """CALLO/RET through a link register (r1): r10 = f(5) + f(9), f(x) = 3x + 1."""
+    prog = Program(entry="main1", name="call_return")
+
+    b = BlockBuilder("main1")
+    b.write(2, b.movi(5))                       # argument
+    b.write(1, b.label_address("main2"))        # link register
+    b.branch("CALLO", target="func", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("main2")                   # return continuation of call 1
+    b.write(10, b.read(3))                      # save f(5)
+    b.write(2, b.movi(9))
+    b.write(1, b.label_address("main3"))
+    b.branch("CALLO", target="func", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("main3")
+    first = b.read(10)
+    second = b.read(3)
+    b.write(10, b.op("ADD", first, second))
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("func")                    # r3 = 3 * r2 + 1
+    arg = b.read(2)
+    link = b.read(1)
+    tripled = b.op("MULI", arg, imm=3)
+    b.write(3, b.op("ADDI", tripled, imm=1))
+    b.branch("RET", exit_id=0, addr=link)
+    prog.add_block(b.build())
+
+    def check(state: ArchState) -> None:
+        assert state.regs[10] == (3 * 5 + 1) + (3 * 9 + 1)
+
+    return prog, check
+
+
+def store_load_forward() -> tuple[Program, callable]:
+    """In-block store→load forwarding: store then reload the same word."""
+    prog = Program(entry="only", name="store_load_forward")
+    scratch = prog.alloc_data(16)
+
+    b = BlockBuilder("only")
+    addr = b.movi(scratch)
+    value = b.movi(0xBEEF)
+    b.store(addr, value)
+    loaded = b.load(addr)                     # must forward 0xBEEF
+    doubled = b.op("ADDI", loaded, imm=1)
+    b.store(addr, doubled, offset=8)
+    b.write(10, doubled)
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    def check(state: ArchState) -> None:
+        assert state.regs[10] == 0xBEEF + 1
+        assert state.mem.load(scratch, 8) == 0xBEEF
+        assert state.mem.load(scratch + 8, 8) == 0xBEEF + 1
+
+    return prog, check
+
+
+def fp_kernel(n: int = 8) -> tuple[Program, callable]:
+    """Floating point: r10 = sum of x[i]*x[i] + 0.5 over an array of doubles."""
+    prog = Program(entry="init", name="fp_kernel")
+    values = [0.25 * i - 0.8 for i in range(n)]
+    base = prog.add_doubles(values)
+
+    b = BlockBuilder("init")
+    b.write(10, b.movi(0.0))
+    b.write(11, b.movi(0))
+    b.branch("BRO", target="loop", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("loop")
+    acc = b.read(10)
+    i = b.read(11)
+    addr = b.op("ADDI", b.op("SHLI", i, imm=3), imm=base)
+    x = b.load(addr, op="LDF")
+    sq = b.op("FMUL", x, x)
+    half = b.movi(0.5)
+    term = b.op("FADD", sq, half)
+    b.write(10, b.op("FADD", acc, term))
+    new_i = b.op("ADDI", i, imm=1)
+    b.write(11, new_i)
+    p = b.op("TLTI", new_i, imm=n)
+    b.branch("BRO", target="loop", exit_id=0, pred=(p, True))
+    b.branch("BRO", target="done", exit_id=1, pred=(p, False))
+    prog.add_block(b.build())
+
+    b = BlockBuilder("done")
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    expected = sum(x * x + 0.5 for x in values)
+
+    def check(state: ArchState) -> None:
+        assert abs(state.regs[10] - expected) < 1e-9, (state.regs[10], expected)
+
+    return prog, check
+
+
+def wide_fanout(width: int = 24) -> tuple[Program, callable]:
+    """One value feeding many consumers — exercises MOV-tree legalization."""
+    prog = Program(entry="only", name="wide_fanout")
+
+    b = BlockBuilder("only")
+    seed = b.movi(7)
+    acc = b.op("ADDI", seed, imm=0)
+    for k in range(width):
+        term = b.op("ADDI", seed, imm=k)
+        acc = b.op("ADD", acc, term)
+    b.write(10, acc)
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+
+    expected = 7 + sum(7 + k for k in range(width))
+
+    def check(state: ArchState) -> None:
+        assert state.regs[10] == expected
+
+    return prog, check
+
+
+ALL_SAMPLES = {
+    "counted_loop": counted_loop,
+    "vector_sum": vector_sum,
+    "predicated_classify": predicated_classify,
+    "call_return": call_return,
+    "store_load_forward": store_load_forward,
+    "fp_kernel": fp_kernel,
+    "wide_fanout": wide_fanout,
+}

@@ -1,0 +1,58 @@
+"""CLI smoke tests (fast paths only; full figures live in benchmarks/)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["list"], ["run", "conv"], ["sweep", "conv"],
+                     ["disasm", "conv"], ["fig5"], ["fig6"], ["fig10"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "conv"])
+        assert args.cores == 8
+        assert args.machine == "tflex"
+        assert args.scale == 1
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "conv" in out
+        assert "spec_fp" in out
+
+    def test_run_tflex(self, capsys):
+        assert main(["run", "dither", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tflex-2" in out
+        assert "cycles" in out
+
+    def test_run_ooo(self, capsys):
+        assert main(["run", "dither", "--machine", "ooo"]) == 0
+        assert "OoO baseline" in capsys.readouterr().out
+
+    def test_run_trips(self, capsys):
+        assert main(["run", "dither", "--machine", "trips"]) == 0
+        assert "trips" in capsys.readouterr().out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "tblook"]) == 0
+        out = capsys.readouterr().out
+        assert "block main_0" in out
+        assert "LDD" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "dither", "--cores", "4", "--blocks", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "blocks committed" in out

@@ -1,0 +1,195 @@
+"""Targeted tests for datapath corner cases: LSQ overflow handling,
+dependence-violation replay and throttling, register NULL forwarding
+through the simulator, and wrong-path robustness."""
+
+import pytest
+
+from repro.isa import BlockBuilder, Interpreter, Program
+from repro.tflex import TFlexSystem, rectangle, run_program, tflex_config
+from dataclasses import replace
+
+
+def _run(program, ncores=4, cfg=None, max_cycles=2_000_000):
+    return run_program(program, num_cores=ncores, cfg=cfg, max_cycles=max_cycles)
+
+
+def many_loads_program(num_blocks=12, loads_per_block=16):
+    """Many in-flight blocks hammering few LSQ banks (overflow trigger)."""
+    prog = Program(entry="b0", name="lsq_pressure")
+    base = prog.add_words(list(range(64)))
+    for i in range(num_blocks):
+        b = BlockBuilder(f"b{i}")
+        acc = b.movi(0)
+        for k in range(loads_per_block):
+            # All loads in one 64-byte line -> one bank under interleaving.
+            value = b.load(b.movi(base + 8 * (k % 8)))
+            acc = b.op("ADD", acc, value)
+        b.write(10, b.op("ADD", b.read(10), acc))
+        if i == num_blocks - 1:
+            b.branch("HALT", exit_id=0)
+        else:
+            b.branch("BRO", target=f"b{i+1}", exit_id=0)
+        prog.add_block(b.build())
+    return prog, base
+
+
+class TestLsqOverflow:
+    def test_small_lsq_makes_progress(self):
+        """With minimum-size LSQ banks (one block's worst case) the
+        overflow policy must avoid livelock and stay correct."""
+        prog, base = many_loads_program()
+        golden = Interpreter(prog)
+        golden.run()
+        cfg = replace(tflex_config(8),
+                      core=replace(tflex_config(8).core, lsq_entries=32))
+        proc = _run(prog, ncores=8, cfg=cfg)
+        assert proc.regs[10] == golden.regs[10]
+        assert proc.stats.nacks > 0
+
+    def test_overflow_flush_counted(self):
+        prog, __ = many_loads_program(num_blocks=16, loads_per_block=24)
+        cfg = replace(tflex_config(8),
+                      core=replace(tflex_config(8).core, lsq_entries=32))
+        proc = _run(prog, ncores=8, cfg=cfg)
+        assert proc.stats.blocks_committed == 16
+
+    def test_undersized_bank_rejected(self):
+        with pytest.raises(ValueError, match="worst case"):
+            replace(tflex_config(8),
+                    core=replace(tflex_config(8).core, lsq_entries=6)).validate()
+
+
+def store_load_conflict_program():
+    """Producer block stores late; consumer block loads early -> the
+    load speculates, gets stale data, and must replay."""
+    prog = Program(entry="producer", name="violation")
+    cell = prog.add_words([111])
+
+    b = BlockBuilder("producer")
+    # A long dependence chain delays the store's data.
+    v = b.movi(1)
+    for __ in range(12):
+        v = b.op("MULI", v, imm=3)
+    b.store(b.movi(cell), v)
+    b.branch("BRO", target="consumer", exit_id=0)
+    prog.add_block(b.build())
+
+    b = BlockBuilder("consumer")
+    loaded = b.load(b.movi(cell))
+    b.write(10, loaded)
+    b.branch("HALT", exit_id=0)
+    prog.add_block(b.build())
+    return prog, 3 ** 12
+
+
+class TestViolationReplay:
+    @pytest.mark.parametrize("ncores", [2, 4, 8])
+    def test_replay_produces_correct_value(self, ncores):
+        prog, expected = store_load_conflict_program()
+        proc = _run(prog, ncores=ncores)
+        assert proc.regs[10] == expected
+
+    def test_violation_detected_and_throttled(self):
+        prog, expected = store_load_conflict_program()
+        proc = _run(prog, ncores=8)
+        assert proc.regs[10] == expected
+        # Either the violation fired (and the dependence throttle kicked
+        # in) or timing happened to order them; the common case violates.
+        if proc.stats.violations:
+            assert proc.dependence_set
+
+
+class TestRegisterNullForwarding:
+    @pytest.mark.parametrize("flag,expected", [(1, 99), (0, 55)])
+    def test_null_write_chains_in_simulator(self, flag, expected):
+        """Block A conditionally writes r10 (NULL on the other path);
+        block B reads r10 before A commits — forwarding must chain
+        through the NULL to the architectural value."""
+        prog = Program(entry="a", name="null_chain")
+        prog.reg_init = {10: 55, 11: flag}
+
+        b = BlockBuilder("a")
+        p = b.op("TEQI", b.read(11), imm=1)
+        b.write(10, b.movi(99, pred=(p, True)))
+        b.null_write(10, pred=(p, False))
+        b.branch("BRO", target="b", exit_id=0)
+        prog.add_block(b.build())
+
+        b = BlockBuilder("b")
+        b.write(12, b.read(10))
+        b.branch("HALT", exit_id=0)
+        prog.add_block(b.build())
+
+        for ncores in (1, 2, 4):
+            proc = _run(prog, ncores=ncores)
+            assert proc.regs[12] == expected, ncores
+
+
+class TestWrongPathRobustness:
+    def test_wrong_path_garbage_address_squashed(self):
+        """A mispredicted path computing a wild address must not crash
+        or corrupt state."""
+        prog = Program(entry="head", name="wild")
+        cell = prog.add_words([7])
+        prog.reg_init = {2: 0}
+
+        b = BlockBuilder("head")
+        p = b.op("TEQI", b.read(2), imm=0)       # always true
+        b.branch("BRO", target="good", exit_id=0, pred=(p, True))
+        b.branch("BRO", target="wild", exit_id=1, pred=(p, False))
+        prog.add_block(b.build())
+
+        b = BlockBuilder("good")
+        b.write(10, b.load(b.movi(cell)))
+        b.branch("HALT", exit_id=0)
+        prog.add_block(b.build())
+
+        b = BlockBuilder("wild")                  # only ever wrong-path
+        bogus = b.op("MULI", b.read(2), imm=-(1 << 40))
+        addr = b.op("ADDI", bogus, imm=-123456)
+        b.write(10, b.load(addr))
+        b.branch("HALT", exit_id=0)
+        prog.add_block(b.build())
+
+        # Train the predictor toward "wild" by address aliasing is not
+        # possible here; instead run enough times that cold predictions
+        # take the wrong exit at least once on some composition.
+        for ncores in (2, 4, 8):
+            proc = _run(prog, ncores=ncores)
+            assert proc.regs[10] == 7
+
+
+class TestFlushDuringCommit:
+    def test_committing_block_can_be_squashed(self):
+        """A dependence violation may flush a younger block that is
+        already in its commit handshake; architectural state must stay
+        correct (the squashed commit must not apply)."""
+        prog = Program(entry="p", name="flush_mid_commit")
+        cell = prog.add_words([5])
+        out = prog.alloc_data(8)
+
+        b = BlockBuilder("p")
+        v = b.movi(1)
+        for __ in range(16):
+            v = b.op("ADDI", v, imm=1)
+        b.store(b.movi(cell), v)                 # late store
+        b.branch("BRO", target="q", exit_id=0)
+        prog.add_block(b.build())
+
+        b = BlockBuilder("q")                     # early load + quick finish
+        loaded = b.load(b.movi(cell))
+        b.store(b.movi(out), loaded)
+        b.branch("BRO", target="r", exit_id=0)
+        prog.add_block(b.build())
+
+        b = BlockBuilder("r")
+        b.write(10, b.load(b.movi(out)))
+        b.branch("HALT", exit_id=0)
+        prog.add_block(b.build())
+
+        golden = Interpreter(prog)
+        golden.run()
+        for ncores in (2, 4, 8):
+            proc = _run(prog, ncores=ncores)
+            assert proc.regs[10] == golden.regs[10], ncores
+            assert proc.memory.load(out, 8) == golden.mem.load(out, 8)

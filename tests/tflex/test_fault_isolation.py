@@ -1,0 +1,65 @@
+"""Fault isolation: composability turns dead cores into capacity loss.
+
+A fixed-granularity processor loses the whole processor (or chip) to
+one faulty tile; a CLP simply composes around it — one of the practical
+benefits of full composability."""
+
+import pytest
+
+from repro.tflex import TFLEX, TFlexSystem, pack, rectangle
+from repro.workloads import BENCHMARKS, verify_edge_run
+
+from tests.sample_programs import ALL_SAMPLES, ArchState
+
+
+def test_faulty_core_cannot_join_composition():
+    system = TFlexSystem(TFLEX)
+    system.cores[1].faulty = True
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    with pytest.raises(RuntimeError, match="faulty"):
+        system.compose(rectangle(TFLEX, 4, (0, 0)), program)   # includes core 1
+
+
+def test_pack_avoids_faulty_cores():
+    faulty = {0, 13, 22}
+    groups = pack(TFLEX, [8, 8, 4, 4], avoid=faulty)
+    placed = {core for group in groups for core in group}
+    assert not (placed & faulty)
+    assert len(placed) == 24
+
+
+def test_pack_capacity_accounts_for_faults():
+    with pytest.raises(ValueError):
+        pack(TFLEX, [16, 16], avoid={5})   # only 31 healthy cores
+
+
+def test_chip_keeps_working_around_faults():
+    """With three dead cores, the chip still runs a full workload on the
+    remaining capacity, and results stay correct."""
+    system = TFlexSystem(TFLEX)
+    dead = (1, 2, 3)   # one bad row; rectangle packing works around it
+    for core_id in dead:
+        system.cores[core_id].faulty = True
+
+    programs = []
+    checks = []
+    for name in ("vector_sum", "fp_kernel", "predicated_classify"):
+        program, check = ALL_SAMPLES[name]()
+        programs.append(program)
+        checks.append(check)
+    groups = pack(TFLEX, [8, 8, 8], avoid=set(dead))
+    procs = [system.compose(group, program)
+             for group, program in zip(groups, programs)]
+    system.run()
+    for proc, check in zip(procs, checks):
+        check(ArchState(regs=proc.regs, mem=proc.memory))
+
+
+def test_degraded_chip_runs_suite_benchmark():
+    system = TFlexSystem(TFLEX)
+    system.cores[0].faulty = True      # kill the usual anchor core
+    program, expected, kernel = BENCHMARKS["dither"].edge_program()
+    group = pack(TFLEX, [8], avoid={0})[0]
+    proc = system.compose(group, program)
+    system.run()
+    verify_edge_run(kernel, proc.memory, expected)

@@ -1,0 +1,205 @@
+"""Integration tests: the cycle-level simulator must preserve the
+golden model's architectural semantics at every composition size."""
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.tflex import (
+    TFLEX,
+    SimulationDeadlock,
+    TFlexSystem,
+    rectangle,
+    run_program,
+    trips_config,
+)
+
+from tests.sample_programs import ALL_SAMPLES, ArchState
+
+
+CORE_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SAMPLES))
+@pytest.mark.parametrize("ncores", CORE_COUNTS)
+def test_matches_golden_model(name, ncores):
+    program, check = ALL_SAMPLES[name]()
+    proc = run_program(program, num_cores=ncores)
+    check(ArchState(regs=proc.regs, mem=proc.memory))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SAMPLES))
+def test_same_commit_path_as_interpreter(name):
+    """Committed block count must equal the golden model's block count
+    (speculation may fetch more, but commits exactly the true path)."""
+    program, __ = ALL_SAMPLES[name]()
+    golden = Interpreter(program).run()
+    proc = run_program(program, num_cores=4)
+    assert proc.stats.blocks_committed == golden.blocks_executed
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SAMPLES))
+def test_trips_mode_matches_golden_model(name):
+    program, check = ALL_SAMPLES[name]()
+    system = TFlexSystem(trips_config())
+    proc = system.compose(list(range(16)), program)
+    system.run()
+    check(ArchState(regs=proc.regs, mem=proc.memory))
+
+
+def test_registers_match_interpreter_exactly():
+    program, __ = ALL_SAMPLES["predicated_classify"]()
+    interp = Interpreter(program)
+    interp.run()
+    proc = run_program(program, num_cores=8)
+    assert proc.regs == interp.regs
+
+
+def test_stats_sanity():
+    program, __ = ALL_SAMPLES["vector_sum"]()
+    proc = run_program(program, num_cores=4)
+    stats = proc.stats
+    assert stats.cycles > 0
+    assert stats.blocks_committed > 0
+    assert stats.blocks_fetched >= stats.blocks_committed
+    assert stats.blocks_fetched == stats.blocks_committed + stats.blocks_squashed
+    assert stats.insts_committed > 0
+    assert 0 < stats.ipc < 16
+    assert stats.predictions >= stats.predictions_correct
+    assert stats.loads_executed > 0
+    assert stats.stores_committed == 1
+    assert "cycles" in stats.summary()
+
+
+def test_single_core_never_speculates():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    proc = run_program(program, num_cores=1)
+    assert proc.stats.predictions == 0
+    assert proc.stats.blocks_squashed == 0
+    assert proc.stats.mispredictions == 0
+
+
+def test_speculative_configs_predict():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    proc = run_program(program, num_cores=4)
+    assert proc.stats.predictions > 0
+
+
+def test_fetch_latency_breakdown_recorded():
+    program, __ = ALL_SAMPLES["vector_sum"]()
+    proc = run_program(program, num_cores=8)
+    means = proc.stats.fetch_latency.means()
+    # Paper figure 9a: prediction (3) + tag (1) + pipeline (3) are the
+    # seven-cycle constant part.
+    assert means["prediction"] == pytest.approx(3, abs=0.5)
+    assert means["tag"] == 1
+    assert means["pipeline"] == 3
+    assert means["distribution"] > 0
+    assert means["dispatch"] > 0
+    commit = proc.stats.commit_latency.means()
+    assert commit["handshake"] > 0
+    assert commit["state_update"] >= 0
+
+
+def test_one_core_has_no_prediction_latency():
+    """Paper: the one-core configuration lacks speculation and thus
+    incurs no prediction latency."""
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    proc = run_program(program, num_cores=1)
+    assert proc.stats.fetch_latency.mean("prediction") == 0
+    assert proc.stats.fetch_latency.mean("handoff") == 0
+
+
+def test_ideal_handshake_removes_protocol_latency():
+    from dataclasses import replace
+    from repro.tflex import tflex_config
+
+    program, check = ALL_SAMPLES["vector_sum"]()
+    cfg = replace(tflex_config(8), ideal_handshake=True)
+    proc = run_program(program, num_cores=8, cfg=cfg)
+    check(ArchState(regs=proc.regs, mem=proc.memory))
+    means = proc.stats.fetch_latency.means()
+    assert means["handoff"] == 0
+    assert means["distribution"] == 0
+    assert proc.stats.commit_latency.mean("handshake") == 0
+
+
+def test_ideal_handshake_not_materially_slower():
+    from dataclasses import replace
+    from repro.tflex import tflex_config
+
+    program, __ = ALL_SAMPLES["vector_sum"]()
+    real = run_program(program, num_cores=8).stats.cycles
+    cfg = replace(tflex_config(8), ideal_handshake=True)
+    ideal = run_program(program, num_cores=8, cfg=cfg).stats.cycles
+    # Small regressions are legitimate second-order speculation-timing
+    # effects (different wrong-path interleavings).
+    assert ideal <= real * 1.1
+
+
+def test_deadlock_reported_with_diagnostics():
+    """An infinite loop exhausts the cycle budget with a state dump."""
+    from repro.isa import BlockBuilder, Program
+
+    prog = Program(entry="spin", name="spin")
+    b = BlockBuilder("spin")
+    b.branch("BRO", target="spin", exit_id=0)
+    prog.add_block(b.build())
+    system = TFlexSystem(TFLEX)
+    system.compose(rectangle(TFLEX, 2, (0, 0)), prog)
+    with pytest.raises(SimulationDeadlock, match="budget"):
+        system.run(max_cycles=5000)
+
+
+class TestMultiprogramming:
+    def test_two_threads_disjoint_cores(self):
+        system = TFlexSystem(TFLEX)
+        prog_a, check_a = ALL_SAMPLES["vector_sum"]()
+        prog_b, check_b = ALL_SAMPLES["fp_kernel"]()
+        proc_a = system.compose(rectangle(TFLEX, 8, (0, 0)), prog_a, name="A")
+        proc_b = system.compose(rectangle(TFLEX, 8, (0, 2)), prog_b, name="B")
+        system.run()
+        check_a(ArchState(regs=proc_a.regs, mem=proc_a.memory))
+        check_b(ArchState(regs=proc_b.regs, mem=proc_b.memory))
+
+    def test_overlapping_compositions_rejected(self):
+        system = TFlexSystem(TFLEX)
+        prog_a, __ = ALL_SAMPLES["counted_loop"]()
+        prog_b, __ = ALL_SAMPLES["counted_loop"]()
+        system.compose(rectangle(TFLEX, 8, (0, 0)), prog_a)
+        with pytest.raises(RuntimeError, match="already belongs"):
+            system.compose(rectangle(TFLEX, 4, (0, 1)), prog_b)
+
+    def test_recomposition_after_decompose(self):
+        """Paper section 4.7: composition changes need no L1 flush; the
+        directory redirects stale lines."""
+        system = TFlexSystem(TFLEX)
+        prog_a, check_a = ALL_SAMPLES["vector_sum"]()
+        proc_a = system.compose(rectangle(TFLEX, 4, (0, 0)), prog_a)
+        system.run()
+        check_a(ArchState(regs=proc_a.regs, mem=proc_a.memory))
+        system.decompose(proc_a)
+
+        prog_b, check_b = ALL_SAMPLES["predicated_classify"]()
+        proc_b = system.compose(rectangle(TFLEX, 8, (0, 0)), prog_b)
+        system.run()
+        check_b(ArchState(regs=proc_b.regs, mem=proc_b.memory))
+
+    def test_decompose_requires_halt(self):
+        system = TFlexSystem(TFLEX)
+        prog, __ = ALL_SAMPLES["counted_loop"]()
+        proc = system.compose(rectangle(TFLEX, 4, (0, 0)), prog)
+        with pytest.raises(RuntimeError, match="still running"):
+            system.decompose(proc)
+
+    def test_shared_l2_contention_visible(self):
+        """Two co-running threads must be no faster than each alone."""
+        prog_a, __ = ALL_SAMPLES["vector_sum"]()
+        alone = run_program(prog_a, num_cores=8).stats.cycles
+
+        system = TFlexSystem(TFLEX)
+        prog_a2, __ = ALL_SAMPLES["vector_sum"]()
+        prog_b, __ = ALL_SAMPLES["vector_sum"]()
+        proc_a = system.compose(rectangle(TFLEX, 8, (0, 0)), prog_a2)
+        system.compose(rectangle(TFLEX, 8, (0, 2)), prog_b)
+        system.run()
+        assert proc_a.stats.cycles >= alone * 0.9   # allow small placement noise

@@ -1,0 +1,92 @@
+"""SMT-style core sharing: several threads on one composition.
+
+The paper's TRIPS baseline offers SMT (4 threads, 256 instructions
+each) as its only granularity flexibility; TFlex generalizes the
+trade-off by composing instead.  These tests check that shared-core
+threads stay architecturally correct while contending for issue slots,
+caches, and LSQ capacity."""
+
+import pytest
+
+from repro.tflex import TFLEX, TFlexSystem, rectangle
+from repro.workloads import BENCHMARKS, verify_edge_run
+
+from tests.sample_programs import ALL_SAMPLES, ArchState
+
+
+def test_two_threads_share_cores_correctly():
+    system = TFlexSystem(TFLEX)
+    prog_a, check_a = ALL_SAMPLES["vector_sum"]()
+    prog_b, check_b = ALL_SAMPLES["fp_kernel"]()
+    procs = system.compose_smt(rectangle(TFLEX, 8, (0, 0)), [prog_a, prog_b])
+    system.run()
+    check_a(ArchState(regs=procs[0].regs, mem=procs[0].memory))
+    check_b(ArchState(regs=procs[1].regs, mem=procs[1].memory))
+
+
+def test_four_threads_like_trips_smt():
+    """Four threads on one 16-core composition (the TRIPS SMT shape)."""
+    system = TFlexSystem(TFLEX)
+    programs = []
+    checks = []
+    for name in ("counted_loop", "vector_sum", "predicated_classify",
+                 "store_load_forward"):
+        program, check = ALL_SAMPLES[name]()
+        programs.append(program)
+        checks.append(check)
+    procs = system.compose_smt(rectangle(TFLEX, 16, (0, 0)), programs)
+    assert all(p.max_inflight == 4 for p in procs)   # frames split 16/4
+    system.run()
+    for proc, check in zip(procs, checks):
+        check(ArchState(regs=proc.regs, mem=proc.memory))
+
+
+def test_smt_threads_interfere():
+    """A thread sharing its cores must be no faster than running alone
+    on the same composition."""
+    prog_alone, __ , kernel = BENCHMARKS["conv"].edge_program()
+    system = TFlexSystem(TFLEX)
+    alone = system.compose(rectangle(TFLEX, 8, (0, 0)), prog_alone)
+    system.run()
+
+    system2 = TFlexSystem(TFLEX)
+    prog_a, expected_a, kernel_a = BENCHMARKS["conv"].edge_program()
+    prog_b, __e, __k = BENCHMARKS["mcf"].edge_program()
+    shared = system2.compose_smt(rectangle(TFLEX, 8, (0, 0)), [prog_a, prog_b])
+    system2.run()
+    verify_edge_run(kernel_a, shared[0].memory, expected_a)
+    assert shared[0].stats.cycles >= alone.stats.cycles
+
+
+def test_unshared_composition_still_exclusive():
+    system = TFlexSystem(TFLEX)
+    prog_a, __ = ALL_SAMPLES["counted_loop"]()
+    prog_b, __b = ALL_SAMPLES["counted_loop"]()
+    system.compose(rectangle(TFLEX, 8, (0, 0)), prog_a)
+    with pytest.raises(RuntimeError, match="already belongs"):
+        system.compose(rectangle(TFLEX, 8, (0, 0)), prog_b)
+
+
+def test_smt_release_frees_cores_individually():
+    system = TFlexSystem(TFLEX)
+    prog_a, check_a = ALL_SAMPLES["counted_loop"]()
+    prog_b, check_b = ALL_SAMPLES["vector_sum"]()
+    procs = system.compose_smt(rectangle(TFLEX, 4, (0, 0)), [prog_a, prog_b])
+    system.run()
+    system.decompose(procs[0])
+    # Cores still held by the second thread.
+    assert system.cores[0].procs == [procs[1]]
+    system.decompose(procs[1])
+    assert system.cores[0].procs == []
+
+    # Fully freed: a new exclusive composition may take them.
+    prog_c, check_c = ALL_SAMPLES["fp_kernel"]()
+    proc_c = system.compose(rectangle(TFLEX, 8, (0, 0)), prog_c)
+    system.run()
+    check_c(ArchState(regs=proc_c.regs, mem=proc_c.memory))
+
+
+def test_compose_smt_requires_programs():
+    system = TFlexSystem(TFLEX)
+    with pytest.raises(ValueError):
+        system.compose_smt(rectangle(TFLEX, 4, (0, 0)), [])

@@ -1,0 +1,72 @@
+"""Tests for block-lifecycle tracing and the timeline renderer."""
+
+from repro.tflex import TFLEX, TFlexSystem, rectangle
+from repro.tflex.trace import BlockTrace, render_timeline
+
+from tests.sample_programs import ALL_SAMPLES
+
+
+def traced_run(name="counted_loop", ncores=4):
+    system = TFlexSystem(TFLEX)
+    program, __ = ALL_SAMPLES[name]()
+    proc = system.compose(rectangle(TFLEX, ncores, (0, 0)), program)
+    proc.enable_block_trace()
+    system.run()
+    return proc
+
+
+class TestBlockTrace:
+    def test_every_committed_block_traced(self):
+        proc = traced_run()
+        assert len(proc.block_trace) == proc.stats.blocks_committed
+
+    def test_milestones_ordered(self):
+        proc = traced_run()
+        for trace in proc.block_trace:
+            assert trace.fetch_start <= trace.fetch_cmd
+            assert trace.fetch_cmd <= trace.complete
+            assert trace.complete <= trace.commit_start
+            assert trace.commit_start <= trace.committed
+            assert trace.lifetime > 0
+
+    def test_commits_in_order(self):
+        proc = traced_run()
+        commit_times = [t.committed for t in proc.block_trace]
+        assert commit_times == sorted(commit_times)
+
+    def test_pipelining_visible(self):
+        """With 4 cores, successive blocks' lifetimes overlap (fetch of
+        block k+1 begins before block k commits)."""
+        proc = traced_run(ncores=4)
+        traces = sorted(proc.block_trace, key=lambda t: t.gseq)
+        overlaps = sum(
+            1 for a, b in zip(traces, traces[1:])
+            if b.fetch_start < a.committed
+        )
+        assert overlaps > len(traces) // 2
+
+    def test_disabled_by_default(self):
+        system = TFlexSystem(TFLEX)
+        program, __ = ALL_SAMPLES["counted_loop"]()
+        proc = system.compose(rectangle(TFLEX, 2, (0, 0)), program)
+        system.run()
+        assert getattr(proc, "block_trace", None) is None
+
+
+class TestRenderer:
+    def test_renders_rows_and_legend(self):
+        proc = traced_run()
+        text = render_timeline(proc.block_trace)
+        assert "legend" in text
+        assert text.count("B") >= proc.stats.blocks_committed
+        for char in "fxc":
+            assert char in text
+
+    def test_empty_trace(self):
+        assert "no blocks" in render_timeline([])
+
+    def test_width_respected(self):
+        proc = traced_run()
+        text = render_timeline(proc.block_trace, width=40)
+        for line in text.splitlines()[1:-1]:
+            assert len(line) <= 40 + 20   # row label + chart
