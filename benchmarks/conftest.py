@@ -13,10 +13,21 @@ import pathlib
 
 import pytest
 
-from repro.harness import fig6_performance
+from repro.harness import clear_cache, configure_cache, fig6_performance
 
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache():
+    """Keep tier-1 runs hermetic: start from an empty in-process cache
+    and never read or write a persistent store left over from earlier
+    CLI invocations."""
+    clear_cache()
+    configure_cache(enabled=False)
+    yield
+    clear_cache()
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,10 @@ Commands:
 * ``fig5|fig6|fig7|fig8|fig9|fig10|table2`` — regenerate one of the
   paper's artifacts (fig7/8/10/table2 compute the figure-6 sweep first).
 * ``disasm BENCH`` — print the compiled EDGE hyperblocks.
+
+Simulating commands take ``--jobs N`` (parallel workers for cold
+points), ``--cache-dir DIR`` and ``--no-cache`` (the persistent result
+store under ``.repro-cache/`` — see docs/EXECUTION.md).
 """
 
 from __future__ import annotations
@@ -45,11 +49,17 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.harness import format_table, run_edge_benchmark
+    from repro.exec import JobSpec
+    from repro.harness import format_table, prewarm_specs, run_edge_benchmark
 
+    core_counts = (1, 2, 4, 8, 16, 32)
+    if args.jobs > 1:
+        prewarm_specs([JobSpec.edge(args.bench, ncores=n, scale=args.scale)
+                       for n in core_counts],
+                      jobs=args.jobs, progress=True)
     rows = []
     base = None
-    for ncores in (1, 2, 4, 8, 16, 32):
+    for ncores in core_counts:
         run = run_edge_benchmark(args.bench, ncores=ncores, scale=args.scale)
         base = base or run.cycles
         rows.append([ncores, run.cycles, round(base / run.cycles, 2),
@@ -86,13 +96,17 @@ def _cmd_timeline(args) -> int:
 def _cmd_figure(args) -> int:
     from repro import harness
 
+    progress = args.jobs > 1
     if args.command == "fig5":
-        print(harness.fig5_baseline(scale=args.scale).render())
+        print(harness.fig5_baseline(scale=args.scale, jobs=args.jobs,
+                                    progress=progress).render())
         return 0
     if args.command == "fig9":
-        print(harness.fig9_protocols(scale=args.scale).render())
+        print(harness.fig9_protocols(scale=args.scale, jobs=args.jobs,
+                                     progress=progress).render())
         return 0
-    fig6 = harness.fig6_performance(scale=args.scale)
+    fig6 = harness.fig6_performance(scale=args.scale, jobs=args.jobs,
+                                    progress=progress)
     if args.command == "fig6":
         print(fig6.render())
     elif args.command == "fig7":
@@ -104,6 +118,20 @@ def _cmd_figure(args) -> int:
     elif args.command == "table2":
         print(harness.table2_area_power(fig6).render())
     return 0
+
+
+def _add_exec_flags(sub_parser, jobs: bool = True) -> None:
+    """Execution-engine knobs shared by the simulating subcommands."""
+    if jobs:
+        sub_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for cold simulation points (default 1)")
+    sub_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result store location (default .repro-cache)")
+    sub_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result store for this invocation")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,10 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--machine", choices=("tflex", "trips", "ooo"),
                        default="tflex")
     run_p.add_argument("--scale", type=int, default=1)
+    _add_exec_flags(run_p, jobs=False)
 
     sweep_p = sub.add_parser("sweep", help="composition sweep for one benchmark")
     sweep_p.add_argument("bench")
     sweep_p.add_argument("--scale", type=int, default=1)
+    _add_exec_flags(sweep_p)
 
     disasm_p = sub.add_parser("disasm", help="print compiled hyperblocks")
     disasm_p.add_argument("bench")
@@ -139,11 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
         fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
         fig_p.add_argument("--scale", type=int, default=1)
+        _add_exec_flags(fig_p)
     return parser
+
+
+def _configure_store(args) -> None:
+    """Apply --cache-dir/--no-cache; commands without the flags (list,
+    disasm, timeline) leave the store configuration untouched."""
+    if not hasattr(args, "no_cache"):
+        return
+    from repro.harness import configure_cache
+
+    configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        _configure_store(args)
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

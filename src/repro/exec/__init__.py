@@ -1,0 +1,39 @@
+"""``repro.exec`` — parallel experiment engine with a persistent store.
+
+Every point of the paper's evaluation (figures 5-10) is one simulation
+of (benchmark x composition x config).  This package factors that point
+into three composable pieces:
+
+* :mod:`repro.exec.spec` — :class:`JobSpec`, a pure, hashable
+  description of one simulation point, plus :func:`spec_hash`, its
+  stable content address.
+* :mod:`repro.exec.store` — :class:`ResultStore`, a content-addressed
+  on-disk cache of JSON result records with atomic writes and
+  corruption-tolerant reads.
+* :mod:`repro.exec.executor` — :class:`ParallelExecutor`, a
+  multiprocessing fan-out with per-job timeout, one retry on worker
+  crash, and a live progress/ETA reporter.
+
+The harness (:mod:`repro.harness.runner`) layers its in-process cache
+on top of the store, so warm-cache replays of any figure driver are
+instant and ``--jobs N`` parallelises cold sweeps.  See
+``docs/EXECUTION.md``.
+"""
+
+from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
+from repro.exec.store import ResultStore
+from repro.exec.progress import ProgressReporter
+from repro.exec.worker import execute_spec
+from repro.exec.executor import JobResult, ParallelExecutor, run_specs
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "spec_hash",
+    "ResultStore",
+    "ProgressReporter",
+    "execute_spec",
+    "JobResult",
+    "ParallelExecutor",
+    "run_specs",
+]

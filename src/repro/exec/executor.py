@@ -1,0 +1,258 @@
+"""Parallel job execution over a process pool.
+
+The executor fans :class:`~repro.exec.spec.JobSpec` jobs out over at
+most ``jobs`` concurrent worker processes (one process per job, capped
+— the shape of vusec's ``prun`` scheduler), with:
+
+* a consultation of the :class:`~repro.exec.store.ResultStore` first,
+  so warm jobs never spawn a process;
+* a per-job wall-clock timeout (the process is terminated);
+* one retry (configurable) when a worker raises, crashes, or times
+  out — a bad job is *reported* failed, it never kills the sweep;
+* optional live progress/ETA reporting.
+
+Results come back in input order as :class:`JobResult` records; the
+parent (not the workers) persists successful payloads to the store, so
+there is a single writer per store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.exec.progress import ProgressReporter
+from repro.exec.spec import JobSpec
+from repro.exec.store import ResultStore
+from repro.exec.worker import execute_spec
+
+#: Job states a sweep can end in.
+STATUS_OK = "ok"             # simulated this run
+STATUS_CACHED = "cached"     # satisfied from the result store
+STATUS_FAILED = "failed"     # exhausted retries (raise/crash/timeout)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job in a sweep."""
+
+    spec: JobSpec
+    status: str
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+
+def _child_main(worker: Callable[[JobSpec], dict], spec: JobSpec,
+                conn) -> None:
+    """Run ``worker(spec)`` in a child process, report through the pipe."""
+    try:
+        conn.send(("ok", worker(spec)))
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Active:
+    index: int
+    process: multiprocessing.Process
+    conn: object
+    started: float
+    outcome: Optional[tuple] = None     # ("ok", payload) | ("error", msg)
+
+
+class ParallelExecutor:
+    """Runs a batch of job specs, in parallel when ``jobs > 1``."""
+
+    poll_interval = 0.01    # seconds between scheduler sweeps
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 1, store: Optional[ResultStore] = None,
+                 worker: Callable[[JobSpec], dict] = execute_spec,
+                 progress: bool = False,
+                 mp_context: Optional[str] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.store = store
+        self.worker = worker
+        self.progress = progress
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute every spec; results are returned in input order."""
+        specs = list(specs)
+        results: list[Optional[JobResult]] = [None] * len(specs)
+        todo: list[int] = []
+        for i, spec in enumerate(specs):
+            payload = self.store.load(spec) if self.store is not None else None
+            if payload is not None:
+                results[i] = JobResult(spec=spec, status=STATUS_CACHED,
+                                       payload=payload)
+            else:
+                todo.append(i)
+
+        reporter = (ProgressReporter(total=len(specs))
+                    if self.progress and specs else None)
+        if reporter is not None:
+            for r in results:
+                if r is not None:
+                    reporter.update(label=r.spec.bench)
+        try:
+            if self.jobs <= 1:
+                self._run_serial(specs, todo, results, reporter)
+            else:
+                self._run_parallel(specs, todo, results, reporter)
+        finally:
+            if reporter is not None:
+                reporter.finish()
+        return [r for r in results if r is not None]
+
+    # -- serial path ---------------------------------------------------
+
+    def _run_serial(self, specs, todo, results, reporter) -> None:
+        # In-process execution: no per-job timeout (there is no process
+        # to terminate), but the same retry-on-raise policy.
+        for i in todo:
+            spec = specs[i]
+            started = time.monotonic()
+            attempts = 0
+            error = None
+            payload = None
+            while attempts <= self.retries:
+                attempts += 1
+                try:
+                    payload = self.worker(spec)
+                    error = None
+                    break
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+            results[i] = self._finish(spec, payload, error, attempts,
+                                      time.monotonic() - started, reporter)
+
+    # -- parallel path -------------------------------------------------
+
+    def _run_parallel(self, specs, todo, results, reporter) -> None:
+        pending = deque(todo)
+        attempts = {i: 0 for i in todo}
+        started_total = {i: time.monotonic() for i in todo}
+        errors: dict[int, Optional[str]] = {i: None for i in todo}
+        active: dict[int, _Active] = {}
+
+        while pending or active:
+            while pending and len(active) < self.jobs:
+                i = pending.popleft()
+                attempts[i] += 1
+                active[i] = self._launch(i, specs[i])
+
+            finished = [act for act in active.values() if self._settle(act)]
+            for act in finished:
+                del active[act.index]
+                i = act.index
+                kind, value = act.outcome
+                if kind == "ok":
+                    results[i] = self._finish(
+                        specs[i], value, None, attempts[i],
+                        time.monotonic() - started_total[i], reporter)
+                else:
+                    errors[i] = value
+                    if attempts[i] <= self.retries:
+                        pending.appendleft(i)    # retry before new work
+                    else:
+                        results[i] = self._finish(
+                            specs[i], None, value, attempts[i],
+                            time.monotonic() - started_total[i], reporter)
+            if not finished:
+                time.sleep(self.poll_interval)
+
+    def _launch(self, index: int, spec: JobSpec) -> _Active:
+        recv, send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main, args=(self.worker, spec, send),
+            daemon=True, name=f"repro-exec-{index}")
+        process.start()
+        send.close()    # child holds the write end now
+        return _Active(index=index, process=process, conn=recv,
+                       started=time.monotonic())
+
+    def _settle(self, act: _Active) -> bool:
+        """Decide whether one active job is done; fill ``act.outcome``."""
+        try:
+            has_message = act.conn.poll()
+        except (OSError, ValueError):
+            has_message = False
+        if has_message:
+            try:
+                act.outcome = act.conn.recv()
+            except (EOFError, OSError):
+                # The child closed the pipe without sending: it died
+                # before reporting.  Reap it to learn the exit code.
+                act.process.join()
+                act.outcome = ("error", "worker crashed (exit code "
+                                        f"{act.process.exitcode})")
+            self._reap(act)
+            return True
+        if not act.process.is_alive():
+            exitcode = act.process.exitcode
+            act.outcome = ("error",
+                           f"worker crashed (exit code {exitcode})")
+            self._reap(act)
+            return True
+        if (self.timeout is not None
+                and time.monotonic() - act.started > self.timeout):
+            act.process.terminate()
+            act.outcome = ("error",
+                           f"worker timed out after {self.timeout:g}s")
+            self._reap(act)
+            return True
+        return False
+
+    @staticmethod
+    def _reap(act: _Active) -> None:
+        act.process.join()
+        try:
+            act.conn.close()
+        except OSError:
+            pass
+
+    # -- shared completion ---------------------------------------------
+
+    def _finish(self, spec: JobSpec, payload: Optional[dict],
+                error: Optional[str], attempts: int, duration: float,
+                reporter: Optional[ProgressReporter]) -> JobResult:
+        if error is None and payload is not None:
+            if self.store is not None:
+                self.store.store(spec, payload)
+            result = JobResult(spec=spec, status=STATUS_OK, payload=payload,
+                               attempts=attempts, duration=duration)
+        else:
+            result = JobResult(spec=spec, status=STATUS_FAILED, error=error,
+                               attempts=attempts, duration=duration)
+        if reporter is not None:
+            reporter.update(label=spec.bench, ok=result.ok)
+        return result
+
+
+def run_specs(specs: Sequence[JobSpec], jobs: int = 1,
+              timeout: Optional[float] = None,
+              store: Optional[ResultStore] = None,
+              progress: bool = False, **kwargs) -> list[JobResult]:
+    """Convenience wrapper: build an executor and run one batch."""
+    executor = ParallelExecutor(jobs=jobs, timeout=timeout, store=store,
+                                progress=progress, **kwargs)
+    return executor.run(specs)

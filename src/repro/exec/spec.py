@@ -1,0 +1,132 @@
+"""Job specifications: one simulation point as a pure, hashable value.
+
+A :class:`JobSpec` captures everything that determines a simulation's
+outcome — benchmark, machine kind, composition size, scale, config
+overrides — in canonical form (overrides as sorted item tuples).  Its
+content address, :func:`spec_hash`, is a SHA-256 over canonical JSON
+salted with :data:`SCHEMA_VERSION`, so it is stable across processes
+and interpreter versions but changes whenever the result schema (or
+simulator semantics, via a salt bump) changes.
+
+Canonical JSON preserves value types: ``{"lsq_size": 1}`` and
+``{"lsq_size": "1"}`` hash differently even though they *format*
+identically in a human-readable label — the collision the old
+label-keyed cache allowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Optional
+
+#: Bump whenever the stored result schema or simulator semantics change;
+#: every on-disk record keyed under the old salt becomes a miss.
+SCHEMA_VERSION = 1
+
+
+def _freeze_overrides(overrides: Optional[Mapping[str, Any]]) -> tuple:
+    """Normalise an override mapping to sorted, hashable item pairs."""
+    if not overrides:
+        return ()
+    return tuple(sorted((str(k), v) for k, v in overrides.items()))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A pure description of one simulation point.
+
+    ``kind`` selects the machine: ``"edge"`` runs a TFlex composition
+    (or the TRIPS baseline when ``trips`` is set), ``"risc"`` runs the
+    out-of-order superscalar comparator.  Override mappings are frozen
+    into sorted item tuples so equal configurations compare (and hash)
+    equal regardless of construction order.
+    """
+
+    kind: str
+    bench: str
+    scale: int = 1
+    ncores: int = 8
+    trips: bool = False
+    ideal_handshake: bool = False
+    overrides: tuple = ()
+    core_overrides: tuple = ()
+    verify: bool = True
+
+    @staticmethod
+    def edge(bench: str, ncores: int = 8, trips: bool = False,
+             scale: int = 1, ideal_handshake: bool = False,
+             overrides: Optional[Mapping[str, Any]] = None,
+             core_overrides: Optional[Mapping[str, Any]] = None,
+             verify: bool = True) -> "JobSpec":
+        # TRIPS ignores the requested composition size (the prototype is
+        # fixed); normalise it out so equivalent points share one hash.
+        return JobSpec(
+            kind="edge", bench=bench, scale=scale,
+            ncores=0 if trips else ncores, trips=trips,
+            ideal_handshake=ideal_handshake,
+            overrides=_freeze_overrides(overrides),
+            core_overrides=_freeze_overrides(core_overrides),
+            verify=verify)
+
+    @staticmethod
+    def risc(bench: str, scale: int = 1, verify: bool = True) -> "JobSpec":
+        return JobSpec(kind="risc", bench=bench, scale=scale,
+                       ncores=1, verify=verify)
+
+    def overrides_dict(self) -> dict:
+        return dict(self.overrides)
+
+    def core_overrides_dict(self) -> dict:
+        return dict(self.core_overrides)
+
+    def label(self) -> str:
+        """Human-readable configuration label (display only — never a
+        cache key; see :func:`spec_hash`)."""
+        if self.kind == "risc":
+            return "ooo"
+        label = "trips" if self.trips else f"tflex-{self.ncores}"
+        if self.ideal_handshake:
+            label += "-ideal"
+        for source in (self.overrides, self.core_overrides):
+            for name, value in source:
+                label += f"+{name}={value}"
+        return label
+
+    def canonical(self) -> dict:
+        """JSON-safe canonical form; the hashing substrate."""
+        return {
+            "kind": self.kind,
+            "bench": self.bench,
+            "scale": self.scale,
+            "ncores": self.ncores,
+            "trips": self.trips,
+            "ideal_handshake": self.ideal_handshake,
+            "overrides": [[k, v] for k, v in self.overrides],
+            "core_overrides": [[k, v] for k, v in self.core_overrides],
+            "verify": self.verify,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def to_dict(self) -> dict:
+        return self.canonical()
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(JobSpec)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        for name in ("overrides", "core_overrides"):
+            kwargs[name] = tuple((k, v) for k, v in kwargs.get(name, ()))
+        return JobSpec(**kwargs)
+
+
+def spec_hash(spec: JobSpec, salt: int = SCHEMA_VERSION) -> str:
+    """Stable content address of a spec: SHA-256 of canonical JSON plus
+    the schema/version salt."""
+    payload = json.dumps({"salt": salt, "spec": spec.canonical()},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,124 @@
+"""Content-addressed on-disk result store.
+
+Records are JSON files under ``<root>/<hash[:2]>/<hash>.json`` where
+``hash`` is :func:`repro.exec.spec.spec_hash` of the job spec salted
+with the store's schema version.  Writes are atomic (temp file in the
+same directory, then ``os.replace``) so a crash mid-write can never
+leave a record that parses; reads are corruption-tolerant — a
+truncated, unparsable, or wrong-schema file is a cache *miss*, never
+an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Iterator, Optional, Union
+
+from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
+
+
+class ResultStore:
+    """Durable result cache, keyed by content address of the job spec."""
+
+    def __init__(self, root: Union[str, pathlib.Path],
+                 salt: int = SCHEMA_VERSION) -> None:
+        self.root = pathlib.Path(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- keying --------------------------------------------------------
+
+    def key(self, spec: JobSpec) -> str:
+        return spec_hash(spec, salt=self.salt)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- reads ---------------------------------------------------------
+
+    def load(self, spec: JobSpec) -> Optional[dict]:
+        """The stored payload for ``spec``, or ``None`` on any miss —
+        including a corrupt or schema-mismatched record."""
+        key = self.key(spec)
+        record = self._read_record(self.path_for(key))
+        if (record is None or record.get("schema") != self.salt
+                or record.get("key") != key or "payload" not in record):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["payload"]
+
+    def contains(self, spec: JobSpec) -> bool:
+        """Like :meth:`load` but without touching the hit/miss counters."""
+        record = self._read_record(self.path_for(self.key(spec)))
+        return record is not None and record.get("schema") == self.salt
+
+    @staticmethod
+    def _read_record(path: pathlib.Path) -> Optional[dict]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    # -- writes --------------------------------------------------------
+
+    def store(self, spec: JobSpec, payload: dict) -> pathlib.Path:
+        """Atomically persist one result record."""
+        key = self.key(spec)
+        record = {
+            "schema": self.salt,
+            "key": key,
+            "spec": spec.to_dict(),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for key in list(self.iter_keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def counters(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}

@@ -1,0 +1,22 @@
+"""Worker-side job execution.
+
+:func:`execute_spec` runs one :class:`~repro.exec.spec.JobSpec` to a
+JSON-safe payload dict.  It is a module-level function so it pickles
+cleanly into ``multiprocessing`` children, and it deliberately bypasses
+every cache layer — cache policy (in-process dict, disk store) lives in
+the parent; workers only simulate.
+"""
+
+from __future__ import annotations
+
+from repro.exec.spec import JobSpec
+
+
+def execute_spec(spec: JobSpec) -> dict:
+    """Simulate one job and return its serialised result payload."""
+    # Imported lazily: repro.harness.runner imports repro.exec for the
+    # store, and the simulator stack is heavy for non-worker users.
+    from repro.harness import runner
+
+    result = runner.simulate_spec(spec)
+    return {"kind": spec.kind, "result": result.to_dict()}

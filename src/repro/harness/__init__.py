@@ -2,7 +2,10 @@
 
 See DESIGN.md's experiment index.  Results cache within a process so
 that figure 7 (area), figure 8 (power), and figure 10 (multiprogramming)
-reuse the figure 6 performance sweep, as in the paper's methodology.
+reuse the figure 6 performance sweep, as in the paper's methodology;
+with ``configure_cache`` they also persist to the on-disk result store,
+and the sweep drivers take ``jobs=N`` to fan cold points out over the
+``repro.exec`` worker pool (docs/EXECUTION.md).
 """
 
 from repro.harness.runner import (
@@ -11,10 +14,15 @@ from repro.harness.runner import (
     run_edge_benchmark,
     run_risc_benchmark,
     clear_cache,
+    configure_cache,
+    get_store,
+    prewarm_specs,
+    simulation_count,
 )
 from repro.harness.experiments import (
     fig5_baseline,
     fig6_performance,
+    fig6_specs,
     fig7_area,
     fig8_power,
     fig9_protocols,
@@ -29,8 +37,13 @@ __all__ = [
     "run_edge_benchmark",
     "run_risc_benchmark",
     "clear_cache",
+    "configure_cache",
+    "get_store",
+    "prewarm_specs",
+    "simulation_count",
     "fig5_baseline",
     "fig6_performance",
+    "fig6_specs",
     "fig7_area",
     "fig8_power",
     "fig9_protocols",

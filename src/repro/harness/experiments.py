@@ -11,8 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.exec import JobSpec
 from repro.harness.reporting import format_table, geomean
-from repro.harness.runner import RunResult, run_edge_benchmark, run_risc_benchmark
+from repro.harness.runner import (
+    RunResult,
+    prewarm_specs,
+    run_edge_benchmark,
+    run_risc_benchmark,
+)
 from repro.power import AreaModel, EnergyModel
 from repro.sched import (
     SpeedupTable,
@@ -31,6 +37,17 @@ def _suite(benchmarks: Optional[Sequence[str]]) -> list[str]:
     if benchmarks is None:
         return sorted(BENCHMARKS)
     return list(benchmarks)
+
+
+def _fan_out(specs: Sequence[JobSpec], jobs: int, progress: bool) -> None:
+    """Pre-warm the runner caches over a worker pool when ``jobs > 1``.
+
+    The serial assembly loops below then find every point already
+    cached, so drivers keep their exact call-site semantics; a failed
+    worker job simply falls back to in-process simulation there.
+    """
+    if jobs > 1 and len(specs) > 1:
+        prewarm_specs(specs, jobs=jobs, progress=progress)
 
 
 # ----------------------------------------------------------------------
@@ -99,11 +116,28 @@ class Fig6Result:
                             title="Figure 6: speedup over one TFlex core")
 
 
+def fig6_specs(scale: int = 1,
+               core_counts: Sequence[int] = CORE_COUNTS,
+               benchmarks: Optional[Sequence[str]] = None,
+               include_trips: bool = True) -> list[JobSpec]:
+    """Every simulation point of the figure-6 sweep, as job specs."""
+    specs = []
+    for name in _suite(benchmarks):
+        for n in core_counts:
+            specs.append(JobSpec.edge(name, ncores=n, scale=scale))
+        if include_trips:
+            specs.append(JobSpec.edge(name, trips=True, scale=scale))
+    return specs
+
+
 def fig6_performance(scale: int = 1,
                      core_counts: Sequence[int] = CORE_COUNTS,
                      benchmarks: Optional[Sequence[str]] = None,
-                     include_trips: bool = True) -> Fig6Result:
+                     include_trips: bool = True,
+                     jobs: int = 1, progress: bool = False) -> Fig6Result:
     names = _suite(benchmarks)
+    _fan_out(fig6_specs(scale, core_counts, names, include_trips),
+             jobs, progress)
     runs: dict[str, dict[str, RunResult]] = {}
     for name in names:
         per_config: dict[str, RunResult] = {}
@@ -143,8 +177,12 @@ class Fig5Result:
 
 
 def fig5_baseline(scale: int = 1,
-                  benchmarks: Optional[Sequence[str]] = None) -> Fig5Result:
+                  benchmarks: Optional[Sequence[str]] = None,
+                  jobs: int = 1, progress: bool = False) -> Fig5Result:
     names = _suite(benchmarks)
+    specs = [JobSpec.edge(name, trips=True, scale=scale) for name in names]
+    specs += [JobSpec.risc(name, scale=scale) for name in names]
+    _fan_out(specs, jobs, progress)
     ratios = {}
     for name in names:
         trips = run_edge_benchmark(name, trips=True, scale=scale)
@@ -298,8 +336,14 @@ class Fig9Result:
 
 def fig9_protocols(scale: int = 1,
                    core_counts: Sequence[int] = CORE_COUNTS,
-                   benchmarks: Optional[Sequence[str]] = None) -> Fig9Result:
+                   benchmarks: Optional[Sequence[str]] = None,
+                   jobs: int = 1, progress: bool = False) -> Fig9Result:
     names = _suite(benchmarks)
+    specs = [JobSpec.edge(name, ncores=n, scale=scale)
+             for name in names for n in core_counts]
+    specs += [JobSpec.edge(name, ncores=max(core_counts), scale=scale,
+                           ideal_handshake=True) for name in names]
+    _fan_out(specs, jobs, progress)
     fetch: dict[int, dict[str, float]] = {}
     commit: dict[int, dict[str, float]] = {}
     for n in core_counts:

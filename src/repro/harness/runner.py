@@ -1,16 +1,43 @@
-"""Benchmark execution with in-process result caching."""
+"""Benchmark execution on top of the ``repro.exec`` engine.
+
+Three cache layers, consulted in order:
+
+1. an in-process dict keyed by the job spec's content hash (so figure
+   7/8/10 reuse figure 6's sweep within one process, as before);
+2. the persistent :class:`~repro.exec.store.ResultStore` under
+   ``--cache-dir`` (default off for library use; the CLI enables it, or
+   set ``REPRO_CACHE_DIR``), giving warm-cache instant replay across
+   processes;
+3. the simulator itself (:func:`simulate_spec`), which is what
+   ``repro.exec`` workers execute in parallel sweeps.
+
+Cache keys are *content hashes of the resolved spec* (sorted, typed
+override items — see :mod:`repro.exec.spec`), never the human-readable
+label, so two overrides that merely format identically cannot collide.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
+from repro.exec import JobSpec, ResultStore, run_specs, spec_hash
 from repro.power import EnergyModel, EnergyParams, PowerBreakdown
 from repro.tflex import TFlexSystem, tflex_config, trips_config
 from repro.tflex.placement import rectangle
 from repro.tflex.stats import ProcStats
 from repro.risc import OoOCore
 from repro.workloads import BENCHMARKS, verify_edge_run
+
+#: Environment variable that switches the persistent store on for
+#: library (non-CLI) use.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default store location, used by the CLI unless ``--cache-dir`` says
+#: otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 @dataclass
@@ -28,7 +55,30 @@ class RunResult:
 
     @property
     def performance(self) -> float:
-        return 1.0 / self.cycles
+        """1/cycles, or 0.0 for a degenerate run that retired nothing."""
+        return 1.0 / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "label": self.label,
+            "num_cores": self.num_cores,
+            "cycles": self.cycles,
+            "insts_committed": self.insts_committed,
+            "stats": self.stats.to_dict(),
+            "power": self.power.to_dict(),
+            "dram_requests": self.dram_requests,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunResult":
+        return RunResult(
+            bench=data["bench"], label=data["label"],
+            num_cores=data["num_cores"], cycles=data["cycles"],
+            insts_committed=data["insts_committed"],
+            stats=ProcStats.from_dict(data["stats"]),
+            power=PowerBreakdown.from_dict(data["power"]),
+            dram_requests=data["dram_requests"])
 
 
 @dataclass
@@ -40,13 +90,185 @@ class RiscResult:
     insts: int
     mispredictions: int
 
+    def to_dict(self) -> dict:
+        return {"bench": self.bench, "cycles": self.cycles,
+                "insts": self.insts, "mispredictions": self.mispredictions}
 
-_CACHE: dict[tuple, object] = {}
+    @staticmethod
+    def from_dict(data: dict) -> "RiscResult":
+        return RiscResult(bench=data["bench"], cycles=data["cycles"],
+                          insts=data["insts"],
+                          mispredictions=data["mispredictions"])
+
+
+# ----------------------------------------------------------------------
+# Cache layers
+# ----------------------------------------------------------------------
+
+_CACHE: dict[str, object] = {}          # spec hash -> result object
+_STORE_UNSET = object()
+_STORE: object = _STORE_UNSET           # lazily resolved ResultStore|None
+_SIM_COUNT = 0                          # simulations run in this process
 
 
 def clear_cache() -> None:
+    """Drop the in-process result cache (the disk store is untouched)."""
     _CACHE.clear()
 
+
+def configure_cache(cache_dir: Union[str, pathlib.Path, None] = None,
+                    enabled: bool = True) -> Optional[ResultStore]:
+    """Point the persistent store at ``cache_dir`` (or disable it).
+
+    ``configure_cache(enabled=False)`` turns persistence off;
+    ``configure_cache()`` enables it at :data:`DEFAULT_CACHE_DIR`.
+    Returns the active store, if any.
+    """
+    global _STORE
+    if not enabled:
+        _STORE = None
+    else:
+        root = pathlib.Path(cache_dir or DEFAULT_CACHE_DIR)
+        if root.exists() and not root.is_dir():
+            raise NotADirectoryError(
+                f"cache dir exists and is not a directory: {root}")
+        _STORE = ResultStore(root)
+    return _STORE
+
+
+def get_store() -> Optional[ResultStore]:
+    """The active persistent store, resolving ``REPRO_CACHE_DIR`` on
+    first use; ``None`` when persistence is off."""
+    global _STORE
+    if _STORE is _STORE_UNSET:
+        env_dir = os.environ.get(CACHE_DIR_ENV)
+        _STORE = ResultStore(env_dir) if env_dir else None
+    return _STORE
+
+
+def simulation_count() -> int:
+    """Simulations actually executed in this process (cache misses)."""
+    return _SIM_COUNT
+
+
+# ----------------------------------------------------------------------
+# Simulation (the cache-miss path; also the repro.exec worker body)
+# ----------------------------------------------------------------------
+
+def simulate_spec(spec: JobSpec):
+    """Run one job spec on the simulator, bypassing every cache."""
+    global _SIM_COUNT
+    _SIM_COUNT += 1
+    if spec.kind == "risc":
+        return _simulate_risc(spec)
+    if spec.kind == "edge":
+        return _simulate_edge(spec)
+    raise ValueError(f"unknown job kind: {spec.kind!r}")
+
+
+def _simulate_edge(spec: JobSpec) -> RunResult:
+    from dataclasses import replace
+
+    benchmark = BENCHMARKS[spec.bench]
+    program, expected, kernel = benchmark.edge_program(spec.scale)
+    if spec.trips:
+        cfg = trips_config()
+        ncores = cfg.num_cores
+    else:
+        cfg = tflex_config(spec.ncores)
+        ncores = spec.ncores
+    if spec.ideal_handshake:
+        cfg = replace(cfg, ideal_handshake=True)
+    if spec.core_overrides:
+        cfg = replace(cfg, core=replace(cfg.core,
+                                        **spec.core_overrides_dict()))
+    if spec.overrides:
+        cfg = replace(cfg, **spec.overrides_dict())
+
+    system = TFlexSystem(cfg)
+    proc = system.compose(rectangle(cfg, ncores), program, name=spec.bench)
+    system.run(max_cycles=30_000_000)
+    if spec.verify:
+        verify_edge_run(kernel, proc.memory, expected)
+
+    params = EnergyParams.trips() if spec.trips else None
+    power = EnergyModel(params).breakdown(
+        proc.stats.energy_events, proc.stats.cycles, proc.ncores,
+        dram_requests=system.dram.stats.requests)
+
+    return RunResult(
+        bench=spec.bench, label=spec.label(), num_cores=ncores,
+        cycles=proc.stats.cycles, insts_committed=proc.stats.insts_committed,
+        stats=proc.stats, power=power,
+        dram_requests=system.dram.stats.requests)
+
+
+def _simulate_risc(spec: JobSpec) -> RiscResult:
+    benchmark = BENCHMARKS[spec.bench]
+    program, expected, kernel = benchmark.risc_program(spec.scale)
+    stats, interp = OoOCore().run(program)
+    if spec.verify:
+        verify_edge_run(kernel, interp.mem, expected)
+    return RiscResult(bench=spec.bench, cycles=stats.cycles,
+                      insts=stats.insts,
+                      mispredictions=stats.mispredictions)
+
+
+def _result_from_payload(payload: dict):
+    cls = RiscResult if payload["kind"] == "risc" else RunResult
+    return cls.from_dict(payload["result"])
+
+
+# ----------------------------------------------------------------------
+# Cached execution
+# ----------------------------------------------------------------------
+
+def run_spec(spec: JobSpec):
+    """One simulation point through all cache layers."""
+    key = spec_hash(spec)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    store = get_store()
+    if store is not None:
+        payload = store.load(spec)
+        if payload is not None:
+            result = _result_from_payload(payload)
+            _CACHE[key] = result
+            return result
+
+    result = simulate_spec(spec)
+    if store is not None:
+        store.store(spec, {"kind": spec.kind, "result": result.to_dict()})
+    _CACHE[key] = result
+    return result
+
+
+def prewarm_specs(specs: Sequence[JobSpec], jobs: int = 1,
+                  timeout: Optional[float] = None,
+                  progress: bool = False) -> list:
+    """Fan a batch of specs out over worker processes, loading every
+    success into the in-process cache (and the store, if enabled).
+
+    Failed jobs are reported in the returned
+    :class:`~repro.exec.executor.JobResult` list but do not raise —
+    a later :func:`run_spec` for that point falls back to in-process
+    simulation.
+    """
+    cold = [s for s in specs if spec_hash(s) not in _CACHE]
+    outcomes = run_specs(cold, jobs=jobs, timeout=timeout,
+                         store=get_store(), progress=progress)
+    for outcome in outcomes:
+        if outcome.ok and outcome.payload is not None:
+            _CACHE[spec_hash(outcome.spec)] = _result_from_payload(
+                outcome.payload)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Public runners (call-site API unchanged)
+# ----------------------------------------------------------------------
 
 def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
                        scale: int = 1, ideal_handshake: bool = False,
@@ -55,71 +277,20 @@ def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
                        verify: bool = True) -> RunResult:
     """Run one benchmark on a TFlex composition (or the TRIPS baseline).
 
-    Results are cached per (name, configuration, scale); architectural
-    output is verified against the Python reference unless disabled.
+    Results are cached per resolved job spec (in-process, then the
+    persistent store when enabled); architectural output is verified
+    against the Python reference unless disabled.
     ``overrides``/``core_overrides`` replace :class:`SystemConfig` /
     :class:`CoreConfig` fields for ablation studies.
     """
-    label = "trips" if trips else f"tflex-{ncores}"
-    if ideal_handshake:
-        label += "-ideal"
-    for source in (overrides, core_overrides):
-        for field_name, value in sorted((source or {}).items()):
-            label += f"+{field_name}={value}"
-    key = ("edge", name, label, scale)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-
-    benchmark = BENCHMARKS[name]
-    program, expected, kernel = benchmark.edge_program(scale)
-    if trips:
-        cfg = trips_config()
-        ncores = cfg.num_cores
-    else:
-        cfg = tflex_config(ncores)
-    from dataclasses import replace
-    if ideal_handshake:
-        cfg = replace(cfg, ideal_handshake=True)
-    if core_overrides:
-        cfg = replace(cfg, core=replace(cfg.core, **core_overrides))
-    if overrides:
-        cfg = replace(cfg, **overrides)
-
-    system = TFlexSystem(cfg)
-    proc = system.compose(rectangle(cfg, ncores), program, name=name)
-    system.run(max_cycles=30_000_000)
-    if verify:
-        verify_edge_run(kernel, proc.memory, expected)
-
-    params = EnergyParams.trips() if trips else None
-    power = EnergyModel(params).breakdown(
-        proc.stats.energy_events, proc.stats.cycles, proc.ncores,
-        dram_requests=system.dram.stats.requests)
-
-    result = RunResult(
-        bench=name, label=label, num_cores=ncores,
-        cycles=proc.stats.cycles, insts_committed=proc.stats.insts_committed,
-        stats=proc.stats, power=power,
-        dram_requests=system.dram.stats.requests)
-    _CACHE[key] = result
-    return result
+    spec = JobSpec.edge(name, ncores=ncores, trips=trips, scale=scale,
+                        ideal_handshake=ideal_handshake,
+                        overrides=overrides, core_overrides=core_overrides,
+                        verify=verify)
+    return run_spec(spec)
 
 
 def run_risc_benchmark(name: str, scale: int = 1,
                        verify: bool = True) -> RiscResult:
     """Run one benchmark on the OoO superscalar baseline (figure 5)."""
-    key = ("risc", name, scale)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-
-    benchmark = BENCHMARKS[name]
-    program, expected, kernel = benchmark.risc_program(scale)
-    stats, interp = OoOCore().run(program)
-    if verify:
-        verify_edge_run(kernel, interp.mem, expected)
-    result = RiscResult(bench=name, cycles=stats.cycles, insts=stats.insts,
-                        mispredictions=stats.mispredictions)
-    _CACHE[key] = result
-    return result
+    return run_spec(JobSpec.risc(name, scale=scale, verify=verify))

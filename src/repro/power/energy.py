@@ -97,6 +97,16 @@ class PowerBreakdown:
     def total(self) -> float:
         return sum(self.watts.values())
 
+    def to_dict(self) -> dict:
+        return {"watts": dict(self.watts), "cycles": self.cycles,
+                "num_cores": self.num_cores}
+
+    @staticmethod
+    def from_dict(data: dict) -> "PowerBreakdown":
+        return PowerBreakdown(watts=dict(data["watts"]),
+                              cycles=data["cycles"],
+                              num_cores=data["num_cores"])
+
     def table(self) -> str:
         lines = [f"Average power over {self.cycles} cycles on {self.num_cores} cores (W):"]
         for name, value in self.watts.items():

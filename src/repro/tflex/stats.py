@@ -35,6 +35,14 @@ class LatencyBreakdown:
     def total_mean(self) -> float:
         return sum(self.means().values())
 
+    def to_dict(self) -> dict:
+        return {"samples": self.samples, "components": dict(self.components)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "LatencyBreakdown":
+        return LatencyBreakdown(samples=data["samples"],
+                                components=Counter(data["components"]))
+
 
 @dataclass
 class ProcStats:
@@ -94,6 +102,32 @@ class ProcStats:
 
     def count(self, event: str, n: int = 1) -> None:
         self.energy_events[event] += n
+
+    #: Plain-integer counter fields (everything except the breakdowns
+    #: and the energy counter), used by the dict round-trip.
+    _SCALAR_FIELDS = (
+        "cycles", "blocks_committed", "insts_committed", "insts_fetched",
+        "loads_executed", "stores_committed", "blocks_fetched",
+        "blocks_squashed", "mispredictions", "violations", "replays",
+        "nacks", "predictions", "predictions_correct", "inflight_integral",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the on-disk result store."""
+        data = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        data["fetch_latency"] = self.fetch_latency.to_dict()
+        data["commit_latency"] = self.commit_latency.to_dict()
+        data["energy_events"] = dict(self.energy_events)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "ProcStats":
+        stats = ProcStats(**{name: data[name]
+                             for name in ProcStats._SCALAR_FIELDS})
+        stats.fetch_latency = LatencyBreakdown.from_dict(data["fetch_latency"])
+        stats.commit_latency = LatencyBreakdown.from_dict(data["commit_latency"])
+        stats.energy_events = Counter(data["energy_events"])
+        return stats
 
     def summary(self) -> str:
         lines = [

@@ -1,0 +1,18 @@
+"""Shared fixtures for the unit/integration suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import clear_cache, configure_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache():
+    """Hermetic tier-1 runs: empty in-process cache, persistent store
+    disabled (tests that exercise the store enable it on a tmp_path and
+    restore this state afterwards)."""
+    clear_cache()
+    configure_cache(enabled=False)
+    yield
+    clear_cache()

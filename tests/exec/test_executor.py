@@ -1,0 +1,155 @@
+"""ParallelExecutor: pool semantics, retry, timeout, store integration.
+
+Worker functions live at module level so they pickle into children.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.exec import JobSpec, ParallelExecutor, ResultStore, run_specs
+
+
+def _specs(n, bench="conv"):
+    return [JobSpec.edge(bench, ncores=2, scale=i + 1) for i in range(n)]
+
+
+def _ok_worker(spec):
+    return {"bench": spec.bench, "scale": spec.scale,
+            "value": spec.scale * 10}
+
+
+def _raise_on_scale_2(spec):
+    if spec.scale == 2:
+        raise ValueError("simulated bad configuration")
+    return _ok_worker(spec)
+
+
+def _crash_worker(spec):
+    os._exit(13)
+
+
+def _sleep_worker(spec):
+    time.sleep(30)
+    return _ok_worker(spec)
+
+
+def _flaky_worker(spec):
+    """Crash on the first attempt, succeed on the retry (state shared
+    through a sentinel file named by the test via the environment)."""
+    sentinel = pathlib.Path(os.environ["REPRO_TEST_FLAKY_SENTINEL"])
+    if not sentinel.exists():
+        sentinel.write_text("first attempt crashed")
+        os._exit(13)
+    return _ok_worker(spec)
+
+
+class TestPoolSemantics:
+    def test_parallel_matches_serial(self):
+        specs = _specs(6)
+        serial = run_specs(specs, jobs=1, worker=_ok_worker)
+        parallel = run_specs(specs, jobs=2, worker=_ok_worker)
+        assert [r.payload for r in serial] == [r.payload for r in parallel]
+        assert all(r.status == "ok" for r in parallel)
+        # Input order is preserved regardless of completion order.
+        assert [r.spec for r in parallel] == specs
+
+    def test_byte_identical_records(self, tmp_path):
+        specs = _specs(5)
+        store1 = ResultStore(tmp_path / "serial")
+        store2 = ResultStore(tmp_path / "parallel")
+        run_specs(specs, jobs=1, worker=_ok_worker, store=store1)
+        run_specs(specs, jobs=2, worker=_ok_worker, store=store2)
+        for spec in specs:
+            a = store1.path_for(store1.key(spec)).read_bytes()
+            b = store2.path_for(store2.key(spec)).read_bytes()
+            assert a == b
+
+    def test_more_jobs_than_specs(self):
+        results = run_specs(_specs(2), jobs=8, worker=_ok_worker)
+        assert [r.status for r in results] == ["ok", "ok"]
+
+
+class TestFailureHandling:
+    def test_raise_is_retried_once_then_reported(self):
+        specs = _specs(4)
+        results = run_specs(specs, jobs=2, worker=_raise_on_scale_2)
+        by_scale = {r.spec.scale: r for r in results}
+        bad = by_scale[2]
+        assert bad.status == "failed"
+        assert bad.attempts == 2                    # one retry
+        assert "simulated bad configuration" in bad.error
+        # The rest of the sweep survived.
+        for scale in (1, 3, 4):
+            assert by_scale[scale].status == "ok"
+
+    def test_crash_is_retried_then_reported(self):
+        results = run_specs(_specs(1), jobs=2, worker=_crash_worker)
+        (r,) = results
+        assert r.status == "failed"
+        assert r.attempts == 2
+        assert "exit code" in r.error
+
+    def test_crash_then_success_on_retry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_SENTINEL",
+                           str(tmp_path / "sentinel"))
+        results = run_specs(_specs(1), jobs=2, worker=_flaky_worker)
+        (r,) = results
+        assert r.status == "ok"
+        assert r.attempts == 2
+        assert r.payload == _ok_worker(_specs(1)[0])
+
+    def test_timeout_terminates_worker(self):
+        executor = ParallelExecutor(jobs=2, timeout=0.25, retries=0,
+                                    worker=_sleep_worker)
+        started = time.monotonic()
+        (r,) = executor.run(_specs(1))
+        assert r.status == "failed"
+        assert "timed out" in r.error
+        assert time.monotonic() - started < 10      # not the 30s sleep
+
+    def test_serial_path_retries_raises(self):
+        results = run_specs(_specs(4), jobs=1, worker=_raise_on_scale_2)
+        by_scale = {r.spec.scale: r for r in results}
+        assert by_scale[2].status == "failed"
+        assert by_scale[2].attempts == 2
+        assert by_scale[1].status == "ok"
+
+
+class TestStoreIntegration:
+    def test_successes_persisted_and_replayed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = _specs(3)
+        first = run_specs(specs, jobs=2, worker=_ok_worker, store=store)
+        assert [r.status for r in first] == ["ok"] * 3
+        assert store.writes == 3
+
+        # Second run: everything is a store hit, no worker runs at all
+        # (the crash worker would fail loudly if launched).
+        replay = run_specs(specs, jobs=2, worker=_crash_worker, store=store)
+        assert [r.status for r in replay] == ["cached"] * 3
+        assert [r.payload for r in replay] == [r.payload for r in first]
+
+    def test_failures_not_persisted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_specs(_specs(4), jobs=2, worker=_raise_on_scale_2, store=store)
+        assert store.writes == 3
+        assert len(store) == 3
+
+
+class TestRealWorker:
+    def test_end_to_end_simulation_in_children(self, tmp_path):
+        """Two real (tiny) simulation points through the default worker."""
+        store = ResultStore(tmp_path)
+        specs = [JobSpec.edge("dither", ncores=1),
+                 JobSpec.edge("dither", ncores=2)]
+        results = run_specs(specs, jobs=2, store=store)
+        assert [r.status for r in results] == ["ok", "ok"]
+        for r in results:
+            assert r.payload["kind"] == "edge"
+            assert r.payload["result"]["cycles"] > 0
+        # Payloads are valid JSON all the way down.
+        json.dumps([r.payload for r in results])

@@ -1,0 +1,72 @@
+"""ProgressReporter: rendering, ETA math, rate limiting."""
+
+import io
+
+from repro.exec import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRendering:
+    def test_eta_from_completed_rate(self):
+        clock = FakeClock()
+        rep = ProgressReporter(total=10, stream=io.StringIO(), clock=clock)
+        clock.now += 5.0
+        rep.done = 5
+        text = rep.render()
+        assert "[5/10]" in text
+        assert "50%" in text
+        assert "elapsed 5.0s" in text
+        assert "eta 5.0s" in text
+
+    def test_unknown_eta_before_first_completion(self):
+        rep = ProgressReporter(total=4, stream=io.StringIO(),
+                               clock=FakeClock())
+        assert "eta ?" in rep.render()
+
+    def test_failed_count_shown(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(total=2, stream=stream, clock=clock)
+        clock.now += 1.0
+        rep.update(label="conv", ok=False)
+        assert "failed 1" in rep.render()
+        assert "last=conv" in stream.getvalue()
+
+    def test_human_time_units(self):
+        clock = FakeClock()
+        rep = ProgressReporter(total=2, stream=io.StringIO(), clock=clock)
+        clock.now += 90.0
+        rep.done = 1
+        assert "elapsed 1.5m" in rep.render()
+
+
+class TestRateLimiting:
+    def test_intermediate_updates_coalesce(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(total=100, stream=stream, min_interval=1.0,
+                               clock=clock)
+        for _ in range(50):
+            clock.now += 0.01    # 50 completions in half a second
+            rep.update()
+        # First update emits, the rest fall inside the interval.
+        assert stream.getvalue().count("\r") == 1
+
+    def test_final_update_always_emits(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(total=3, stream=stream, min_interval=60.0,
+                               clock=clock)
+        for _ in range(3):
+            clock.now += 0.01
+            rep.update()
+        assert "[3/3]" in stream.getvalue()
+        rep.finish()
+        assert stream.getvalue().endswith("\n")

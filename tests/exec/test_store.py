@@ -1,0 +1,97 @@
+"""ResultStore: atomic writes, corruption tolerance, salt invalidation."""
+
+import json
+
+from repro.exec import JobSpec, ResultStore
+
+
+SPEC = JobSpec.edge("conv", ncores=4)
+PAYLOAD = {"kind": "edge", "result": {"cycles": 123}}
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(SPEC) is None
+        store.store(SPEC, PAYLOAD)
+        assert store.load(SPEC) == PAYLOAD
+        assert store.counters() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_layout_is_content_addressed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        key = store.key(SPEC)
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        record = json.loads(path.read_text())
+        assert record["key"] == key
+        assert record["spec"]["bench"] == "conv"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in (1, 2, 4):
+            store.store(JobSpec.edge("conv", ncores=n), PAYLOAD)
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(store) == 3
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(SPEC, PAYLOAD)
+        assert store.clear() == 1
+        assert store.load(SPEC) is None
+
+
+class TestCorruptionTolerance:
+    def _record_path(self, store):
+        store.store(SPEC, PAYLOAD)
+        return store.path_for(store.key(SPEC))
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._record_path(store)
+        # Simulate a crash mid-write that somehow survived: truncate the
+        # record at half length.
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert store.load(SPEC) is None
+        assert store.misses == 1
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._record_path(store)
+        path.write_bytes(b"\x00\xff\x00garbage")
+        assert store.load(SPEC) is None
+
+    def test_wrong_json_shape_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._record_path(store)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert store.load(SPEC) is None
+
+    def test_rewrite_heals_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = self._record_path(store)
+        path.write_text("{not json")
+        assert store.load(SPEC) is None
+        store.store(SPEC, PAYLOAD)
+        assert store.load(SPEC) == PAYLOAD
+
+
+class TestInvalidation:
+    def test_salt_change_invalidates(self, tmp_path):
+        old = ResultStore(tmp_path, salt=1)
+        old.store(SPEC, PAYLOAD)
+        new = ResultStore(tmp_path, salt=2)
+        assert new.load(SPEC) is None        # different content address
+        new.store(SPEC, PAYLOAD)
+        assert new.load(SPEC) == PAYLOAD
+        assert old.load(SPEC) == PAYLOAD     # old records untouched
+
+    def test_schema_field_checked(self, tmp_path):
+        # A record whose path matches but whose embedded schema does not
+        # (e.g. hand-edited) is a miss, not an error.
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        path.write_text(json.dumps(record))
+        assert store.load(SPEC) is None

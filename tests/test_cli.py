@@ -3,6 +3,20 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness import clear_cache, configure_cache
+
+
+@pytest.fixture(autouse=True)
+def _store_off_after(tmp_path, monkeypatch):
+    """main() applies --cache-dir/--no-cache globally; keep any store a
+    command enables inside tmp_path, start from a cold in-process cache
+    (so store behaviour is deterministic), and restore the hermetic
+    default afterwards."""
+    monkeypatch.chdir(tmp_path)
+    clear_cache()
+    yield
+    clear_cache()
+    configure_cache(enabled=False)
 
 
 class TestParser:
@@ -18,6 +32,17 @@ class TestParser:
         assert args.cores == 8
         assert args.machine == "tflex"
         assert args.scale == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_exec_flags(self):
+        args = build_parser().parse_args(
+            ["fig6", "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+        args = build_parser().parse_args(["sweep", "conv", "--jobs", "2"])
+        assert args.jobs == 2
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -31,11 +56,25 @@ class TestCommands:
         assert "conv" in out
         assert "spec_fp" in out
 
-    def test_run_tflex(self, capsys):
+    def test_run_tflex(self, capsys, tmp_path):
         assert main(["run", "dither", "--cores", "2"]) == 0
         out = capsys.readouterr().out
         assert "tflex-2" in out
         assert "cycles" in out
+        # The default store landed in the (tmp) working directory.
+        assert list((tmp_path / ".repro-cache").rglob("*.json"))
+
+    def test_run_no_cache(self, capsys, tmp_path):
+        assert main(["run", "dither", "--cores", "2", "--no-cache"]) == 0
+        assert "tflex-2" in capsys.readouterr().out
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_cache_dir_collides_with_file(self, capsys, tmp_path):
+        (tmp_path / "notadir").write_text("")
+        assert main(["run", "dither", "--cache-dir", "notadir"]) == 2
+        err = capsys.readouterr().err
+        assert "not a directory" in err
+        assert "Traceback" not in err
 
     def test_run_ooo(self, capsys):
         assert main(["run", "dither", "--machine", "ooo"]) == 0
