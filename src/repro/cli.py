@@ -7,12 +7,16 @@ Commands:
   baseline) and print the statistics.
 * ``sweep BENCH`` — the composition sweep for one benchmark.
 * ``fig5|fig6|fig7|fig8|fig9|fig10|table2`` — regenerate one of the
-  paper's artifacts (fig7/8/10/table2 compute the figure-6 sweep first).
+  paper's artifacts (fig7/8/10/table2 compute the figure-6 sweep first);
+  ``--bench NAME`` (repeatable) restricts the suite.
 * ``disasm BENCH`` — print the compiled EDGE hyperblocks.
+* ``profile BENCH`` — wall-clock phase profile of one simulation.
 
 Simulating commands take ``--jobs N`` (parallel workers for cold
 points), ``--cache-dir DIR`` and ``--no-cache`` (the persistent result
-store under ``.repro-cache/`` — see docs/EXECUTION.md).
+store under ``.repro-cache/`` — see docs/EXECUTION.md), plus
+``--trace-out FILE`` (JSONL event trace) and ``--metrics`` (print the
+metrics registry) — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -93,20 +97,44 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import time
+
+    import repro.obs
+    from repro.exec import JobSpec
+    from repro.harness.runner import simulate_spec
+
+    spec = JobSpec.edge(args.bench, ncores=args.cores,
+                        trips=(args.machine == "trips"), scale=args.scale)
+    obs = repro.obs.configure(profile=True)
+    try:
+        started = time.perf_counter()
+        result = simulate_spec(spec)
+        host = time.perf_counter() - started
+        print(f"{args.bench} on {result.label}: {result.cycles} cycles "
+              f"simulated in {host:.2f}s host time")
+        print()
+        print(obs.profiler.table())
+    finally:
+        repro.obs.reset()
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from repro import harness
 
     progress = args.jobs > 1
+    benchmarks = args.benchmarks   # None -> the full suite
     if args.command == "fig5":
-        print(harness.fig5_baseline(scale=args.scale, jobs=args.jobs,
-                                    progress=progress).render())
+        print(harness.fig5_baseline(scale=args.scale, benchmarks=benchmarks,
+                                    jobs=args.jobs, progress=progress).render())
         return 0
     if args.command == "fig9":
-        print(harness.fig9_protocols(scale=args.scale, jobs=args.jobs,
-                                     progress=progress).render())
+        print(harness.fig9_protocols(scale=args.scale, benchmarks=benchmarks,
+                                     jobs=args.jobs, progress=progress).render())
         return 0
-    fig6 = harness.fig6_performance(scale=args.scale, jobs=args.jobs,
-                                    progress=progress)
+    fig6 = harness.fig6_performance(scale=args.scale, benchmarks=benchmarks,
+                                    jobs=args.jobs, progress=progress)
     if args.command == "fig6":
         print(fig6.render())
     elif args.command == "fig7":
@@ -132,6 +160,12 @@ def _add_exec_flags(sub_parser, jobs: bool = True) -> None:
     sub_parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent result store for this invocation")
+    sub_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a JSONL event trace of this invocation to FILE")
+    sub_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry when the command finishes")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,9 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
     tl_p.add_argument("--blocks", type=int, default=16)
     tl_p.add_argument("--scale", type=int, default=1)
 
+    prof_p = sub.add_parser(
+        "profile", help="wall-clock phase profile of one simulation")
+    prof_p.add_argument("bench")
+    prof_p.add_argument("--cores", type=int, default=8,
+                        help="composition size (power of two up to 32)")
+    prof_p.add_argument("--machine", choices=("tflex", "trips"),
+                        default="tflex")
+    prof_p.add_argument("--scale", type=int, default=1)
+
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
         fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
         fig_p.add_argument("--scale", type=int, default=1)
+        fig_p.add_argument("--bench", action="append", dest="benchmarks",
+                           metavar="NAME",
+                           help="restrict to this benchmark (repeatable; "
+                                "default: the full suite)")
         _add_exec_flags(fig_p)
     return parser
 
@@ -183,13 +230,35 @@ def _configure_store(args) -> None:
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        _configure_store(args)
-    except OSError as exc:
-        print(f"repro: {exc}", file=sys.stderr)
-        return 2
+def _configure_obs(args) -> None:
+    """Apply --trace-out/--metrics by installing the process-global
+    observability bundle; commands without the flags leave it alone."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics", False):
+        import repro.obs
+
+        repro.obs.configure(trace_path=args.trace_out, metrics=args.metrics)
+
+
+def _finalize_obs(args) -> None:
+    """End-of-run bookkeeping: append the ``metrics.snapshot`` event to
+    the trace, close sinks (restoring the inactive default bundle, so
+    later in-process work cannot write to a closed trace file), and
+    print the ``--metrics`` report."""
+    import repro.obs
+
+    obs = repro.obs.current()
+    if not obs.active:
+        return
+    if obs.bus.active:
+        obs.bus.deliver(obs.snapshot_event())
+    report = obs.metrics.render() if getattr(args, "metrics", False) else None
+    repro.obs.reset()
+    if report is not None:
+        print()
+        print(report)
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
@@ -200,7 +269,23 @@ def main(argv=None) -> int:
         return _cmd_disasm(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return _cmd_figure(args)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        _configure_store(args)
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    _configure_obs(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _finalize_obs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

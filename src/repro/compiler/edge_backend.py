@@ -196,7 +196,10 @@ class _EdgeFunc:
         """Split the block if the next statement may not fit."""
         if self.path is not None:
             return
-        if (self.builder.size + insts > INST_SOFT_LIMIT
+        # legalized_size, not size: a CSE-shared value fanning out to
+        # many consumers owes MOV-tree instructions that build() will
+        # append, and they count against BLOCK_MAX_INSTS too.
+        if (self.builder.legalized_size + insts > INST_SOFT_LIMIT
                 or self.builder.lsq_slots_used + mem > LSQ_SOFT_LIMIT
                 or len(self.dirty) >= WRITE_SOFT_LIMIT):
             if self.builder.size > 0:

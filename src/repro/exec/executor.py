@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+import repro.obs as obs_lib
 from repro.exec.progress import ProgressReporter
 from repro.exec.spec import JobSpec
 from repro.exec.store import ResultStore
@@ -83,13 +84,17 @@ class ParallelExecutor:
                  retries: int = 1, store: Optional[ResultStore] = None,
                  worker: Callable[[JobSpec], dict] = execute_spec,
                  progress: bool = False,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 obs: Optional[obs_lib.Observability] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.store = store
         self.worker = worker
         self.progress = progress
+        #: Observability: per-job lifecycle events (``job.*``) plus
+        #: ``exec.jobs`` counters and an ``exec.job_seconds`` histogram.
+        self.obs = obs if obs is not None else obs_lib.current()
         self._ctx = multiprocessing.get_context(mp_context)
 
     # -- public API ----------------------------------------------------
@@ -104,6 +109,10 @@ class ParallelExecutor:
             if payload is not None:
                 results[i] = JobResult(spec=spec, status=STATUS_CACHED,
                                        payload=payload)
+                if self.obs.active:
+                    self.obs.emit("job.cached", bench=spec.bench,
+                                  label=spec.label())
+                    self.obs.metrics.inc("exec.jobs", status=STATUS_CACHED)
             else:
                 todo.append(i)
 
@@ -112,7 +121,7 @@ class ParallelExecutor:
         if reporter is not None:
             for r in results:
                 if r is not None:
-                    reporter.update(label=r.spec.bench)
+                    reporter.update(label=r.spec.bench, cached=True)
         try:
             if self.jobs <= 1:
                 self._run_serial(specs, todo, results, reporter)
@@ -136,6 +145,9 @@ class ParallelExecutor:
             payload = None
             while attempts <= self.retries:
                 attempts += 1
+                if self.obs.active:
+                    self.obs.emit("job.start", bench=spec.bench,
+                                  label=spec.label(), attempt=attempts)
                 try:
                     payload = self.worker(spec)
                     error = None
@@ -158,7 +170,7 @@ class ParallelExecutor:
             while pending and len(active) < self.jobs:
                 i = pending.popleft()
                 attempts[i] += 1
-                active[i] = self._launch(i, specs[i])
+                active[i] = self._launch(i, specs[i], attempts[i])
 
             finished = [act for act in active.values() if self._settle(act)]
             for act in finished:
@@ -172,6 +184,11 @@ class ParallelExecutor:
                 else:
                     errors[i] = value
                     if attempts[i] <= self.retries:
+                        if self.obs.active:
+                            self.obs.emit("job.retry", bench=specs[i].bench,
+                                          label=specs[i].label(),
+                                          attempt=attempts[i], error=value)
+                            self.obs.metrics.inc("exec.retries")
                         pending.appendleft(i)    # retry before new work
                     else:
                         results[i] = self._finish(
@@ -180,7 +197,10 @@ class ParallelExecutor:
             if not finished:
                 time.sleep(self.poll_interval)
 
-    def _launch(self, index: int, spec: JobSpec) -> _Active:
+    def _launch(self, index: int, spec: JobSpec, attempt: int = 1) -> _Active:
+        if self.obs.active:
+            self.obs.emit("job.start", bench=spec.bench, label=spec.label(),
+                          attempt=attempt)
         recv, send = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_child_main, args=(self.worker, spec, send),
@@ -195,22 +215,40 @@ class ParallelExecutor:
         try:
             has_message = act.conn.poll()
         except (OSError, ValueError):
-            has_message = False
+            # The pipe itself is unusable: even if the worker process is
+            # still alive it can never report a result, so waiting on it
+            # would spin the scheduler forever (with no timeout set).
+            # Treat it exactly like a crash.
+            act.process.terminate()
+            act.outcome = ("error", "worker pipe broken")
+            self._reap(act)
+            return True
         if has_message:
             try:
                 act.outcome = act.conn.recv()
             except (EOFError, OSError):
                 # The child closed the pipe without sending: it died
-                # before reporting.  Reap it to learn the exit code.
+                # before reporting (or wedged after closing — terminate
+                # is a no-op on an already-exited process, so the real
+                # exit code survives).  Reap it to learn the exit code.
+                act.process.terminate()
                 act.process.join()
                 act.outcome = ("error", "worker crashed (exit code "
                                         f"{act.process.exitcode})")
             self._reap(act)
             return True
         if not act.process.is_alive():
-            exitcode = act.process.exitcode
-            act.outcome = ("error",
-                           f"worker crashed (exit code {exitcode})")
+            # The child can send its report and exit in the window
+            # between the poll() above and this liveness check — drain
+            # the pipe once more before calling it a crash.
+            try:
+                if act.conn.poll():
+                    act.outcome = act.conn.recv()
+            except (EOFError, OSError, ValueError):
+                pass
+            if act.outcome is None:
+                act.outcome = ("error", "worker crashed (exit code "
+                                        f"{act.process.exitcode})")
             self._reap(act)
             return True
         if (self.timeout is not None
@@ -218,6 +256,10 @@ class ParallelExecutor:
             act.process.terminate()
             act.outcome = ("error",
                            f"worker timed out after {self.timeout:g}s")
+            if self.obs.active:
+                self.obs.emit("job.timeout", index=act.index,
+                              timeout=self.timeout)
+                self.obs.metrics.inc("exec.timeouts")
             self._reap(act)
             return True
         return False
@@ -243,6 +285,12 @@ class ParallelExecutor:
         else:
             result = JobResult(spec=spec, status=STATUS_FAILED, error=error,
                                attempts=attempts, duration=duration)
+        if self.obs.active:
+            self.obs.emit("job.done", bench=spec.bench, label=spec.label(),
+                          status=result.status, attempts=attempts,
+                          duration=round(duration, 6), error=error)
+            self.obs.metrics.inc("exec.jobs", status=result.status)
+            self.obs.metrics.observe("exec.job_seconds", duration)
         if reporter is not None:
             reporter.update(label=spec.bench, ok=result.ok)
         return result

@@ -34,31 +34,53 @@ class ProgressReporter:
         self.prefix = prefix
         self.done = 0
         self.failed = 0
+        self.cached = 0
         self._start = self.clock()
         self._last_emit = float("-inf")
+        self._emitted = False
 
-    def update(self, label: str = "", ok: bool = True) -> None:
-        """Record one completed job; emit if the rate limit allows."""
+    def update(self, label: str = "", ok: bool = True,
+               cached: bool = False) -> None:
+        """Record one completed job; emit if the rate limit allows.
+
+        ``cached`` marks jobs satisfied instantly from a result store;
+        they count toward completion but not toward the ETA's rate
+        estimate (a warm/cold mix would otherwise wildly underestimate
+        the remaining time).
+        """
         self.done += 1
         if not ok:
             self.failed += 1
+        if cached:
+            self.cached += 1
         now = self.clock()
         if now - self._last_emit >= self.min_interval or self.done == self.total:
             self._emit(now, label)
             self._last_emit = now
 
     def finish(self) -> None:
-        if self.done < self.total:
+        """Terminate the progress line.
+
+        Emits a final partial-state line when work happened but the last
+        update was rate-limited away; writes nothing at all (not even
+        the newline) when no line was ever emitted, so quiet runs leave
+        the stream untouched.
+        """
+        if self.done < self.total and self.done:
             self._emit(self.clock(), "")
-        self.stream.write("\n")
-        self.stream.flush()
+        if self._emitted:
+            self.stream.write("\n")
+            self.stream.flush()
 
     def render(self, now: Optional[float] = None, label: str = "") -> str:
         now = self.clock() if now is None else now
         elapsed = max(now - self._start, 1e-9)
         pct = 100.0 * self.done / self.total if self.total else 100.0
-        if self.done:
-            eta = elapsed / self.done * (self.total - self.done)
+        executed = self.done - self.cached
+        if self.done >= self.total:
+            eta_text = _fmt_seconds(0.0)
+        elif executed > 0:
+            eta = elapsed / executed * (self.total - self.done)
             eta_text = _fmt_seconds(eta)
         else:
             eta_text = "?"
@@ -71,5 +93,6 @@ class ProgressReporter:
         return text
 
     def _emit(self, now: float, label: str) -> None:
+        self._emitted = True
         self.stream.write("\r" + self.render(now, label).ljust(78))
         self.stream.flush()

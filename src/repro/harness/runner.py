@@ -23,6 +23,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+import repro.obs as obs_lib
 from repro.exec import JobSpec, ResultStore, run_specs, spec_hash
 from repro.power import EnergyModel, EnergyParams, PowerBreakdown
 from repro.tflex import TFlexSystem, tflex_config, trips_config
@@ -223,17 +224,27 @@ def _result_from_payload(payload: dict):
 # Cached execution
 # ----------------------------------------------------------------------
 
+def _note_cache_hit(spec: JobSpec, source: str) -> None:
+    obs = obs_lib.current()
+    if obs.active:
+        obs.emit("run.cache_hit", bench=spec.bench, label=spec.label(),
+                 source=source)
+        obs.metrics.inc("run.cache_hits", source=source)
+
+
 def run_spec(spec: JobSpec):
     """One simulation point through all cache layers."""
     key = spec_hash(spec)
     cached = _CACHE.get(key)
     if cached is not None:
+        _note_cache_hit(spec, "memory")
         return cached
 
     store = get_store()
     if store is not None:
         payload = store.load(spec)
         if payload is not None:
+            _note_cache_hit(spec, "store")
             result = _result_from_payload(payload)
             _CACHE[key] = result
             return result

@@ -288,6 +288,27 @@ class BlockBuilder:
         return len(self._nodes)
 
     @property
+    def legalized_size(self) -> int:
+        """Projected instruction count after MOV-tree legalization.
+
+        With MAX_TARGETS-ary trees every inserted MOV absorbs
+        MAX_TARGETS edges and contributes one, so a producer with E
+        consumers needs exactly ceil((E - MAX_TARGETS) /
+        (MAX_TARGETS - 1)) MOVs.  Clients sizing a block against
+        :data:`BLOCK_MAX_INSTS` must use this, not :attr:`size` — a
+        heavily shared value can owe dozens of fan-out MOVs.
+        """
+        step = MAX_TARGETS - 1
+        extra = 0
+        for __, edges in self._read_slots:
+            if len(edges) > MAX_TARGETS:
+                extra += -(-(len(edges) - MAX_TARGETS) // step)
+        for node in self._nodes:
+            if len(node.edges) > MAX_TARGETS:
+                extra += -(-(len(node.edges) - MAX_TARGETS) // step)
+        return len(self._nodes) + extra
+
+    @property
     def lsq_slots_used(self) -> int:
         return self._next_lsq
 

@@ -7,8 +7,9 @@ doubles the operand network bandwidth relative to TRIPS (section 5),
 modelled here as two channels per link.
 
 The timing model is *link reservation*: a message traversing its
-dimension-order (X-then-Y) path claims one channel of each link for one
-cycle, at the earliest cycle the channel is free after the message
+dimension-order (X-then-Y) path claims one channel of each link for
+``hop_latency`` cycles (the full traversal of that hop; links are not
+pipelined), at the earliest cycle the channel is free after the message
 arrives at that hop.  This captures zero-load latency exactly (one cycle
 per hop) and serializes competing messages on shared links, while
 remaining cheap enough to simulate 32 cores in Python.  Unbounded router
@@ -85,6 +86,21 @@ class NetworkStats:
         self.contention_cycles += other.contention_cycles
         self.local_deliveries += other.local_deliveries
 
+    def to_metrics(self, metrics, **labels) -> None:
+        """Export into a :class:`repro.obs.MetricsRegistry`.
+
+        Gauges, not counters: the stats are already cumulative and a
+        system may flush them after every ``run()`` (back-to-back runs),
+        so the latest flush must overwrite, not double-count.
+        """
+        metrics.set_gauge("noc.messages", self.messages, **labels)
+        metrics.set_gauge("noc.hops", self.hops, **labels)
+        metrics.set_gauge("noc.total_latency", self.total_latency, **labels)
+        metrics.set_gauge("noc.contention_cycles", self.contention_cycles,
+                          **labels)
+        metrics.set_gauge("noc.local_deliveries", self.local_deliveries,
+                          **labels)
+
 
 class Network:
     """Link-reservation mesh network.
@@ -94,16 +110,21 @@ class Network:
         channels: Independent channels per directed link (bandwidth).
         hop_latency: Cycles per hop at zero load.
         name: For stats reporting.
+        profiler: Optional :class:`repro.obs.PhaseProfiler`; when
+            enabled, time spent routing/reserving is charged to the
+            ``noc`` phase.
     """
 
     def __init__(self, topology: Topology, channels: int = 1,
-                 hop_latency: int = 1, name: str = "net") -> None:
+                 hop_latency: int = 1, name: str = "net",
+                 profiler=None) -> None:
         if channels < 1 or hop_latency < 1:
             raise ValueError("channels and hop_latency must be >= 1")
         self.topology = topology
         self.channels = channels
         self.hop_latency = hop_latency
         self.name = name
+        self.profiler = profiler
         self.stats = NetworkStats()
         # Directed link -> per-channel next-free cycle.
         self._free: dict[tuple[int, int], list[int]] = {}
@@ -115,6 +136,13 @@ class Network:
         repeated calls model contention between concurrent messages.
         ``src == dst`` is free (local delivery).
         """
+        prof = self.profiler
+        if prof is not None and prof.enabled:
+            with prof.phase("noc"):
+                return self._delay(src, dst, now)
+        return self._delay(src, dst, now)
+
+    def _delay(self, src: int, dst: int, now: int) -> int:
         if src == dst:
             self.stats.local_deliveries += 1
             return now
@@ -132,7 +160,10 @@ class Network:
                     best = ch
             start = t if free[best] <= t else free[best]
             self.stats.contention_cycles += start - t
-            free[best] = start + 1
+            # The message occupies the channel for the full hop traversal
+            # (links are not pipelined): the next message over this link
+            # cannot start before this one has left it.
+            free[best] = start + self.hop_latency
             t = start + self.hop_latency
         self.stats.messages += 1
         self.stats.hops += len(path)

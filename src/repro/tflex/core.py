@@ -103,6 +103,13 @@ class Core:
             self.system.queue.after(1, self._issue_tick)
 
     def _issue_tick(self) -> None:
+        prof = self.system.obs.profiler
+        if prof.enabled:
+            with prof.phase("issue"):
+                return self._do_issue_tick()
+        return self._do_issue_tick()
+
+    def _do_issue_tick(self) -> None:
         """Issue up to the per-class widths this cycle, oldest first
         (threads sharing the core compete for the same issue slots)."""
         self._issue_scheduled = False

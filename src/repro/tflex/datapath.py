@@ -37,6 +37,13 @@ class DatapathMixin:
 
     def issue(self, instance: BlockInstance, inst: Instruction, core) -> None:
         """Execute one instruction; results appear after its latency."""
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("execute"):
+                return self._do_issue(instance, inst, core)
+        return self._do_issue(instance, inst, core)
+
+    def _do_issue(self, instance: BlockInstance, inst: Instruction, core) -> None:
         now = self.queue.now
         opclass = inst.op.opclass
         self.stats.count("fpu_op" if inst.op.is_fp else "alu_op")
@@ -189,6 +196,14 @@ class DatapathMixin:
 
     def _load_arrive(self, instance: BlockInstance, inst: Instruction,
                      addr: int) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("lsq"):
+                return self._do_load_arrive(instance, inst, addr)
+        return self._do_load_arrive(instance, inst, addr)
+
+    def _do_load_arrive(self, instance: BlockInstance, inst: Instruction,
+                        addr: int) -> None:
         """A load reached its LSQ/D-cache bank."""
         if instance.squashed:
             return
@@ -287,6 +302,14 @@ class DatapathMixin:
 
     def _store_arrive(self, instance: BlockInstance, inst: Instruction,
                       addr: int, value) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("lsq"):
+                return self._do_store_arrive(instance, inst, addr, value)
+        return self._do_store_arrive(instance, inst, addr, value)
+
+    def _do_store_arrive(self, instance: BlockInstance, inst: Instruction,
+                         addr: int, value) -> None:
         if instance.squashed:
             return
         size = memory_size(inst.op)

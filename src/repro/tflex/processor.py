@@ -61,6 +61,9 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         self.system = system
         self.cfg = system.cfg
         self.queue = system.queue
+        #: Observability handle; ``enable_block_trace`` replaces it with
+        #: a fork carrying this processor's private trace sink.
+        self.obs = system.obs
         self.ctx = proc_id
         self.name = name or f"proc{proc_id}"
         self.program = program
@@ -196,8 +199,28 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
 
     def enable_block_trace(self) -> None:
         """Record a :class:`repro.tflex.trace.BlockTrace` for every
-        committed block (see ``repro.tflex.trace.render_timeline``)."""
+        committed block (see ``repro.tflex.trace.render_timeline``).
+
+        Implemented as a private sink on a fork of the system's trace
+        bus: this processor's ``block.commit`` events feed the list
+        without globally enabling tracing, and still reach any global
+        sinks (``--trace-out``) when those are configured.
+        """
+        from repro.obs import CallbackSink
+
         self.block_trace: list = []
+        self.obs = self.obs.fork(
+            CallbackSink(self._record_block_trace, kinds=("block.commit",)))
+
+    def _record_block_trace(self, event: dict) -> None:
+        from repro.tflex.trace import BlockTrace
+
+        self.block_trace.append(BlockTrace(
+            gseq=event["gseq"], label=event["label"],
+            owner_index=event["owner_index"],
+            fetch_start=event["fetch_start"], fetch_cmd=event["fetch_cmd"],
+            complete=event["complete"], commit_start=event["commit_start"],
+            committed=event["committed"]))
 
     def note_occupancy(self) -> None:
         """Accumulate the in-flight-blocks time integral (call before

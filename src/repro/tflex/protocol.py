@@ -62,6 +62,13 @@ class ProtocolMixin:
         self._fetch_block(addr, ghist, handoff_lat)
 
     def _fetch_block(self, addr: int, ghist: int, handoff_lat: int) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("fetch"):
+                return self._do_fetch_block(addr, ghist, handoff_lat)
+        return self._do_fetch_block(addr, ghist, handoff_lat)
+
+    def _do_fetch_block(self, addr: int, ghist: int, handoff_lat: int) -> None:
         self.note_occupancy()
         now = self.queue.now
         block = self.program.block_at(addr)
@@ -112,6 +119,11 @@ class ProtocolMixin:
             "dispatch": 0,
         }
         instance.state = BlockState.EXECUTING
+        obs = self.obs
+        if obs.active:
+            obs.emit("block.fetch", cycle=now, proc=self.name,
+                     gseq=instance.gseq, label=block.label, addr=addr,
+                     owner_index=owner_index)
 
     def _predict_next(self, instance: BlockInstance, owner_core: int,
                       now: int) -> int:
@@ -142,6 +154,13 @@ class ProtocolMixin:
     # ------------------------------------------------------------------
 
     def _core_fetch(self, instance: BlockInstance, core_index: int) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("fetch"):
+                return self._do_core_fetch(instance, core_index)
+        return self._do_core_fetch(instance, core_index)
+
+    def _do_core_fetch(self, instance: BlockInstance, core_index: int) -> None:
         """One participating core fetches and dispatches its interleaved
         slice of the block (plus the register reads banked on it)."""
         if instance.squashed:
@@ -228,6 +247,12 @@ class ProtocolMixin:
         """Owner-initiated recovery: flush younger blocks, repair
         speculative predictor and RAS state, redirect fetch."""
         self.stats.mispredictions += 1
+        obs = self.obs
+        if obs.active:
+            obs.emit("block.mispredict", cycle=self.queue.now,
+                     proc=self.name, gseq=instance.gseq,
+                     predicted=instance.prediction.next_addr,
+                     actual=instance.actual_next)
         self.flush_from(instance.gseq + 1, reason="mispredict", refetch=False)
 
         # Repair this block's own speculative state: push the *actual*
@@ -282,6 +307,10 @@ class ProtocolMixin:
                     victim.prediction, self.ras)
             self.instances.pop(victim.gseq, None)
         cut = victims[-1].gseq
+        obs = self.obs
+        if obs.active:
+            obs.emit("block.squash", cycle=self.queue.now, proc=self.name,
+                     reason=reason, count=len(victims), oldest_gseq=cut)
         self.inflight = [i for i in self.inflight if i.gseq < cut]
         for bank in self.rf_banks:
             bank.squash_from(cut)
@@ -334,6 +363,13 @@ class ProtocolMixin:
                 break
 
     def _start_commit(self, instance: BlockInstance) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("commit"):
+                return self._do_start_commit(instance)
+        return self._do_start_commit(instance)
+
+    def _do_start_commit(self, instance: BlockInstance) -> None:
         """Four-phase distributed commit (paper section 4.6)."""
         instance.state = BlockState.COMMITTING
         now = self.queue.now
@@ -386,6 +422,13 @@ class ProtocolMixin:
         self.queue.at(t_dealloc, lambda: self._finish_commit(instance))
 
     def _finish_commit(self, instance: BlockInstance) -> None:
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("commit"):
+                return self._do_finish_commit(instance)
+        return self._do_finish_commit(instance)
+
+    def _do_finish_commit(self, instance: BlockInstance) -> None:
         """Apply architectural effects and free the block's frame."""
         if instance.squashed:
             return   # flushed mid-commit (dependence violation upstream)
@@ -428,16 +471,19 @@ class ProtocolMixin:
         self.stats.fetch_latency.record(**instance.fetch_parts)
         self.stats.commit_latency.record(**instance.commit_parts)
 
-        if getattr(self, "block_trace", None) is not None:
-            from repro.tflex.trace import BlockTrace
-            self.block_trace.append(BlockTrace(
-                gseq=gseq, label=instance.block.label,
-                owner_index=instance.owner_index,
-                fetch_start=instance.t_fetch_start,
-                fetch_cmd=instance.t_fetch_cmd,
-                complete=instance.t_complete,
-                commit_start=instance.t_commit_start,
-                committed=self.queue.now))
+        # ``enable_block_trace`` consumes this from a private bus fork;
+        # ``--trace-out`` sinks see it globally.
+        obs = self.obs
+        if obs.active:
+            obs.emit("block.commit", cycle=self.queue.now, proc=self.name,
+                     gseq=gseq, label=instance.block.label,
+                     owner_index=instance.owner_index,
+                     fetch_start=instance.t_fetch_start,
+                     fetch_cmd=instance.t_fetch_cmd,
+                     complete=instance.t_complete,
+                     commit_start=instance.t_commit_start,
+                     committed=self.queue.now,
+                     insts=instance.insts_fired_count)
 
         self._wake_deferred_loads()
 
@@ -488,3 +534,11 @@ class ProtocolMixin:
         self.note_occupancy()
         self.halted = True
         self.stats.cycles = self.queue.now - self.start_cycle
+        obs = self.obs
+        if obs.active:
+            self.stats.to_metrics(obs.metrics, proc=self.name)
+            obs.emit("proc.halt", cycle=self.queue.now, proc=self.name,
+                     cycles=self.stats.cycles,
+                     blocks_committed=self.stats.blocks_committed,
+                     insts_committed=self.stats.insts_committed,
+                     mispredictions=self.stats.mispredictions)

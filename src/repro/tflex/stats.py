@@ -129,6 +129,30 @@ class ProcStats:
         stats.energy_events = Counter(data["energy_events"])
         return stats
 
+    def to_metrics(self, metrics, **labels) -> None:
+        """Flush this run's totals into a
+        :class:`repro.obs.MetricsRegistry` as labelled counter series
+        (called once per processor at halt).
+
+        Scalars become ``tflex.<field>``; the figure-9 breakdowns become
+        ``tflex.fetch_latency_cycles`` / ``tflex.commit_latency_cycles``
+        with a ``component`` label (plus ``..._blocks`` sample counts),
+        so the exported series sum back exactly to the
+        :class:`LatencyBreakdown` totals; energy events become
+        ``tflex.energy_events`` with an ``event`` label.
+        """
+        for name in self._SCALAR_FIELDS:
+            metrics.inc(f"tflex.{name}", getattr(self, name), **labels)
+        for phase, breakdown in (("fetch", self.fetch_latency),
+                                 ("commit", self.commit_latency)):
+            metrics.inc(f"tflex.{phase}_latency_blocks",
+                        breakdown.samples, **labels)
+            for component, cycles in breakdown.components.items():
+                metrics.inc(f"tflex.{phase}_latency_cycles", cycles,
+                            component=component, **labels)
+        for event, n in self.energy_events.items():
+            metrics.inc("tflex.energy_events", n, event=event, **labels)
+
     def summary(self) -> str:
         lines = [
             f"cycles:            {self.cycles}",

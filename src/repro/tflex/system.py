@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+import repro.obs as obs_lib
 from repro.isa.program import Program
 from repro.mem.dram import Dram
 from repro.mem.l2 import L2System
@@ -29,15 +30,21 @@ class SimulationDeadlock(Exception):
 class TFlexSystem:
     """One chip instance."""
 
-    def __init__(self, cfg: SystemConfig = TFLEX) -> None:
+    def __init__(self, cfg: SystemConfig = TFLEX,
+                 obs: Optional[obs_lib.Observability] = None) -> None:
         cfg.validate()
         self.cfg = cfg
+        #: Observability bundle (metrics + trace bus + profiler); the
+        #: process-global one unless handed a scoped bundle explicitly.
+        self.obs = obs if obs is not None else obs_lib.current()
         self.queue = EventQueue()
         self.topology = Topology(cfg.mesh_width, cfg.mesh_height)
         self.opn = Network(self.topology, channels=cfg.opn_channels,
-                           hop_latency=cfg.hop_latency, name="opn")
+                           hop_latency=cfg.hop_latency, name="opn",
+                           profiler=self.obs.profiler)
         self.control = Network(self.topology, channels=cfg.control_channels,
-                               hop_latency=cfg.hop_latency, name="control")
+                               hop_latency=cfg.hop_latency, name="control",
+                               profiler=self.obs.profiler)
         self.cores = [Core(self, i) for i in range(cfg.num_cores)]
         self.dram = Dram(latency=cfg.dram_latency, issue_gap=cfg.dram_issue_gap)
         self.l2 = L2System(
@@ -124,6 +131,11 @@ class TFlexSystem:
         for proc in self.procs:
             if proc.stats.cycles == 0:
                 proc.stats.cycles = self.queue.now - proc.start_cycle
+        if self.obs.active:
+            for net in (self.opn, self.control):
+                net.stats.to_metrics(self.obs.metrics, net=net.name)
+            self.obs.emit("sim.done", cycle=self.queue.now,
+                          procs=[p.name for p in self.procs])
         return self.queue.now
 
     def _dump(self) -> str:

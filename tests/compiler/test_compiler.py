@@ -64,6 +64,30 @@ class TestEdgeBackend:
         assert len(program.order) >= 2       # must have split
         check_arrays(kernel, interp.mem, expected)
 
+    def test_high_fanout_value_respects_block_limit(self):
+        # Regression: a CSE-shared value feeding ~100 one-instruction
+        # statements used to pack the block up to the soft limit
+        # *before* MOV-tree legalization, and the appended fan-out MOVs
+        # then pushed it past BLOCK_MAX_INSTS (hypothesis found this).
+        # Splitting must budget for the projected legalized size.
+        uses = 120
+        kernel = KernelProgram(
+            name="fanout",
+            arrays=[Array("inp", "int", 1, init=[7]),
+                    Array("out", "int", 1)],
+            functions=[Function("main", body=[
+                Assign("x", Load("inp", Const(0))),
+                Assign("acc", Const(0)),
+                *[Assign("acc", Bin("+", Var("acc"), Var("x")))
+                  for __ in range(uses)],
+                Store("out", Const(0), Var("acc")),
+                Return(Const(0)),
+            ])])
+        program, interp = run_edge(kernel)
+        for block in program.blocks.values():
+            assert block.size <= BLOCK_MAX_INSTS
+        check_arrays(kernel, interp.mem, {"out": [uses * 7]})
+
     def test_unrolling_grows_blocks(self):
         k1, __ = ALL_KERNELS["saxpy"]()
         for fn in k1.functions:

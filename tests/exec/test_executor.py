@@ -119,6 +119,105 @@ class TestFailureHandling:
         assert by_scale[1].status == "ok"
 
 
+class _BrokenConn:
+    """Pipe end whose poll() raises, as a dead fd does."""
+
+    def poll(self):
+        raise OSError(32, "Broken pipe")
+
+    def close(self):
+        pass
+
+
+class _StubProcess:
+    """Live-looking process we must not wait on."""
+
+    exitcode = None
+
+    def __init__(self):
+        self.terminated = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        assert self.terminated, "joined a live worker with a dead pipe"
+
+    def is_alive(self):
+        return True
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_treated_as_crash(self):
+        """A live-but-wedged worker whose pipe died must settle as a
+        failure instead of spinning the scheduler forever (regression:
+        a raising poll() used to read as 'no message yet')."""
+        from repro.exec.executor import _Active
+
+        executor = ParallelExecutor(jobs=2, worker=_ok_worker)
+        act = _Active(index=0, process=_StubProcess(), conn=_BrokenConn(),
+                      started=time.monotonic())
+        assert executor._settle(act) is True
+        kind, message = act.outcome
+        assert kind == "error"
+        assert "pipe" in message
+        assert act.process.terminated
+
+
+class _LaggedConn:
+    """Pipe end whose first poll() misses the buffered message, as a
+    real fd does when the child sends and exits between two checks."""
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._polls = 0
+
+    def poll(self):
+        self._polls += 1
+        return False if self._polls == 1 else self._conn.poll()
+
+    def recv(self):
+        return self._conn.recv()
+
+    def close(self):
+        self._conn.close()
+
+
+class _DeadProcess:
+    """Process that already exited cleanly."""
+
+    exitcode = 0
+
+    def is_alive(self):
+        return False
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class TestSendExitRace:
+    def test_result_sent_just_before_exit_is_not_a_crash(self):
+        """A worker that sends its report and exits between the
+        scheduler's poll() and its liveness check must settle with the
+        report, not as 'worker crashed (exit code 0)' (regression:
+        the dead-process branch never re-read the pipe)."""
+        import multiprocessing
+
+        from repro.exec.executor import _Active
+
+        recv, send = multiprocessing.get_context().Pipe(duplex=False)
+        send.send(("ok", {"value": 42}))
+        send.close()
+        executor = ParallelExecutor(jobs=2, worker=_ok_worker)
+        act = _Active(index=0, process=_DeadProcess(),
+                      conn=_LaggedConn(recv), started=time.monotonic())
+        assert executor._settle(act) is True
+        assert act.outcome == ("ok", {"value": 42})
+
+
 class TestStoreIntegration:
     def test_successes_persisted_and_replayed(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -47,6 +47,62 @@ class TestRendering:
         assert "elapsed 1.5m" in rep.render()
 
 
+class TestEtaWithCache:
+    def test_eta_ignores_cached_jobs(self):
+        """Warm store hits complete instantly; counting them in the rate
+        would wildly underestimate the ETA on mixed warm/cold sweeps."""
+        clock = FakeClock()
+        rep = ProgressReporter(total=10, stream=io.StringIO(), clock=clock,
+                               min_interval=0.0)
+        for _ in range(4):
+            rep.update(cached=True)      # instant warm hits
+        clock.now += 8.0
+        for _ in range(2):
+            rep.update()                 # 2 cold jobs in 8s -> 4s each
+        assert "eta 16.0s" in rep.render()   # 4 remaining jobs
+
+    def test_eta_unknown_while_only_cached(self):
+        clock = FakeClock()
+        rep = ProgressReporter(total=4, stream=io.StringIO(), clock=clock)
+        rep.update(cached=True)
+        clock.now += 2.0
+        assert "eta ?" in rep.render()
+
+    def test_eta_zero_when_done(self):
+        clock = FakeClock()
+        rep = ProgressReporter(total=2, stream=io.StringIO(), clock=clock)
+        rep.update(cached=True)
+        rep.update(cached=True)
+        assert "eta 0.0s" in rep.render()
+
+
+class TestFinish:
+    def test_silent_when_nothing_emitted(self):
+        """finish() on an unused reporter must not pollute the stream
+        (regression: it used to write a bare newline)."""
+        stream = io.StringIO()
+        rep = ProgressReporter(total=5, stream=stream, clock=FakeClock())
+        rep.finish()
+        assert stream.getvalue() == ""
+
+    def test_zero_total_is_silent(self):
+        stream = io.StringIO()
+        rep = ProgressReporter(total=0, stream=stream, clock=FakeClock())
+        rep.finish()
+        assert stream.getvalue() == ""
+
+    def test_newline_after_real_output(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        rep = ProgressReporter(total=2, stream=stream, clock=clock)
+        clock.now += 1.0
+        rep.update()
+        rep.finish()
+        assert stream.getvalue().endswith("\n")
+        # The partial state was re-rendered by finish().
+        assert "[1/2]" in stream.getvalue()
+
+
 class TestRateLimiting:
     def test_intermediate_updates_coalesce(self):
         clock = FakeClock()

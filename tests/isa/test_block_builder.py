@@ -158,6 +158,33 @@ class TestFanoutLegalization:
         block = b.build()
         assert all(len(r.targets) <= MAX_TARGETS for r in block.reads)
 
+    @pytest.mark.parametrize("fanout", [1, 2, 3, 4, 7, 16, 40])
+    def test_legalized_size_predicts_build_exactly(self, fanout):
+        b = BlockBuilder("t")
+        seed = b.movi(5)
+        acc = None
+        for __ in range(fanout):
+            term = b.op("ADDI", seed, imm=1)
+            acc = term if acc is None else b.op("ADD", acc, term)
+        b.write(10, acc)
+        b.branch("HALT", exit_id=0)
+        predicted = b.legalized_size
+        assert predicted >= b.size
+        block = b.build()
+        assert block.size == predicted
+
+    def test_legalized_size_counts_read_fanout(self):
+        b = BlockBuilder("t")
+        v = b.read(3)
+        acc = b.op("ADDI", v, imm=0)
+        for __ in range(10):
+            acc = b.op("ADD", acc, v)
+        b.write(10, acc)
+        b.branch("HALT", exit_id=0)
+        predicted = b.legalized_size
+        assert predicted > b.size          # the read owes MOV-tree nodes
+        assert b.build().size == predicted
+
     def test_too_many_insts_rejected(self):
         b = BlockBuilder("t")
         x = b.movi(0)

@@ -94,6 +94,23 @@ class TestNetwork:
         net = Network(Topology(4, 8), hop_latency=2)
         assert net.delay(0, 3, now=0) == 6
 
+    def test_hop_latency_occupies_link(self):
+        """A multi-cycle hop holds its channel for the full traversal:
+        two messages over one link with hop_latency=2 serialize by two
+        cycles, not one (regression: the reservation used to be a single
+        cycle, overstating bandwidth)."""
+        net = Network(Topology(4, 1), channels=1, hop_latency=2)
+        assert net.delay(0, 1, now=10) == 12     # link busy cycles 10-11
+        assert net.delay(0, 1, now=10) == 14     # waits for cycle 12
+        assert net.stats.contention_cycles == 2
+
+    def test_hop_latency_occupancy_downstream(self):
+        """Occupancy applies on every hop of a longer path."""
+        net = Network(Topology(4, 1), channels=1, hop_latency=3)
+        assert net.delay(0, 2, now=0) == 6       # 2 hops x 3 cycles
+        # Second message: first link free at 3, second link free at 6.
+        assert net.delay(0, 2, now=0) == 9
+
     def test_stats_accumulate(self):
         net = Network(Topology(4, 8))
         net.delay(0, 3, now=0)

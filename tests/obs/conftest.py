@@ -1,0 +1,12 @@
+"""Keep the process-global observability bundle hermetic per test."""
+
+import pytest
+
+import repro.obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    repro.obs.reset()
+    yield
+    repro.obs.reset()

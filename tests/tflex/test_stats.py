@@ -1,0 +1,120 @@
+"""ProcStats / LatencyBreakdown serialization and metrics export."""
+
+from collections import Counter
+
+from repro.noc.mesh import NetworkStats
+from repro.obs import MetricsRegistry
+from repro.tflex.stats import LatencyBreakdown, ProcStats
+
+
+class TestLatencyBreakdownRoundTrip:
+    def test_empty(self):
+        again = LatencyBreakdown.from_dict(LatencyBreakdown().to_dict())
+        assert again.samples == 0
+        assert again.components == Counter()
+        assert again.total_mean() == 0.0
+
+    def test_components_missing_from_some_samples(self):
+        # Real traces do this: one-core compositions record no
+        # prediction latency, squeezed blocks no handoff, etc.  Every
+        # sample bumps the count; only the present components grow.
+        bd = LatencyBreakdown()
+        bd.record(prediction=3, tag=1, pipeline=3)
+        bd.record(tag=1, pipeline=3)                 # no prediction
+        bd.record(tag=1, pipeline=3, handoff=2)      # late-appearing key
+        assert bd.samples == 3
+        assert bd.mean("prediction") == 1.0
+        assert bd.mean("handoff") == 2 / 3
+        again = LatencyBreakdown.from_dict(bd.to_dict())
+        assert again.samples == bd.samples
+        assert again.components == bd.components
+        assert again.means() == bd.means()
+        # A component never recorded still reads a zero mean.
+        assert again.mean("distribution") == 0.0
+
+    def test_dict_form_is_plain(self):
+        data = LatencyBreakdown().to_dict()
+        assert isinstance(data["components"], dict)
+        assert not isinstance(data["components"], Counter)
+
+
+def _populated_stats() -> ProcStats:
+    stats = ProcStats(cycles=100, blocks_committed=10, insts_committed=55,
+                      insts_fetched=80, blocks_fetched=12, blocks_squashed=2,
+                      mispredictions=1, predictions=9, predictions_correct=8,
+                      inflight_integral=250)
+    stats.fetch_latency.record(prediction=3, tag=1, pipeline=3, dispatch=7)
+    stats.fetch_latency.record(tag=1, pipeline=3)   # prediction/dispatch gap
+    stats.commit_latency.record(state_update=4, handshake=6)
+    stats.count("alu_op", 40)
+    stats.count("lsq_search", 12)
+    return stats
+
+
+class TestProcStatsRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        stats = _populated_stats()
+        again = ProcStats.from_dict(stats.to_dict())
+        assert again.to_dict() == stats.to_dict()
+        assert again.ipc == stats.ipc
+        assert again.prediction_accuracy == stats.prediction_accuracy
+        assert again.avg_inflight_blocks == stats.avg_inflight_blocks
+        assert again.fetch_latency.mean("prediction") == 1.5
+        assert again.energy_events["alu_op"] == 40
+
+    def test_fresh_stats_round_trip(self):
+        again = ProcStats.from_dict(ProcStats().to_dict())
+        assert again.cycles == 0
+        assert again.fetch_latency.samples == 0
+        assert again.energy_events == Counter()
+
+
+class TestProcStatsToMetrics:
+    def test_breakdowns_sum_back_exactly(self):
+        stats = _populated_stats()
+        reg = MetricsRegistry()
+        stats.to_metrics(reg, proc="p0")
+        assert reg.counter("tflex.blocks_committed", proc="p0") == 10
+        assert reg.counter("tflex.fetch_latency_blocks", proc="p0") == 2
+        for comp, cycles in stats.fetch_latency.components.items():
+            assert reg.counter("tflex.fetch_latency_cycles",
+                               component=comp, proc="p0") == cycles
+        assert reg.counter_total("tflex.commit_latency_cycles") == \
+               sum(stats.commit_latency.components.values())
+        assert reg.counter("tflex.energy_events", event="alu_op",
+                           proc="p0") == 40
+
+    def test_two_procs_keep_separate_series(self):
+        reg = MetricsRegistry()
+        _populated_stats().to_metrics(reg, proc="a")
+        _populated_stats().to_metrics(reg, proc="b")
+        assert reg.counter("tflex.cycles", proc="a") == 100
+        assert reg.counter_total("tflex.cycles") == 200
+
+
+class TestNetworkStats:
+    def test_merge_adds_fieldwise(self):
+        a = NetworkStats(messages=3, hops=7, total_latency=11,
+                         contention_cycles=2, local_deliveries=5)
+        b = NetworkStats(messages=1, hops=2, total_latency=4,
+                         contention_cycles=1, local_deliveries=0)
+        a.merge(b)
+        assert a == NetworkStats(messages=4, hops=9, total_latency=15,
+                                 contention_cycles=3, local_deliveries=5)
+        # The merged-from side is untouched.
+        assert b.messages == 1
+
+    def test_merge_empty_is_identity(self):
+        a = NetworkStats(messages=3, hops=7, total_latency=11)
+        before = NetworkStats(**vars(a))
+        a.merge(NetworkStats())
+        assert a == before
+
+    def test_to_metrics_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        stats = NetworkStats(messages=3, hops=7, total_latency=11)
+        stats.to_metrics(reg, net="opn")
+        stats.messages = 9      # later flush of the cumulative totals
+        stats.to_metrics(reg, net="opn")
+        assert reg.gauge("noc.messages", net="opn") == 9
+        assert reg.gauge("noc.hops", net="opn") == 7

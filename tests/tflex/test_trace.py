@@ -70,3 +70,51 @@ class TestRenderer:
         text = render_timeline(proc.block_trace, width=40)
         for line in text.splitlines()[1:-1]:
             assert len(line) <= 40 + 20   # row label + chart
+
+    @staticmethod
+    def _trace(gseq=0, fetch_start=0, fetch_cmd=4, complete=8,
+               commit_start=8, committed=10, label="blk"):
+        return BlockTrace(gseq=gseq, label=label, owner_index=0,
+                          fetch_start=fetch_start, fetch_cmd=fetch_cmd,
+                          complete=complete, commit_start=commit_start,
+                          committed=committed)
+
+    def test_commit_never_hides_execute(self):
+        """When scaling squeezes commit into execute's column, the
+        commit glyph spills right instead of overwriting (regression:
+        the commit used to be drawn last and always won the cell)."""
+        squeezed = self._trace(fetch_start=0, fetch_cmd=100, complete=110,
+                               commit_start=110, committed=200)
+        long = self._trace(gseq=1, fetch_start=0, fetch_cmd=400,
+                           complete=900, commit_start=900, committed=1000)
+        text = render_timeline([squeezed, long], width=11)
+        row = text.splitlines()[1]
+        chart = row.split("blk")[-1]
+        assert "x" in chart and "c" in chart and "f" in chart
+        assert chart.index("x") < chart.index("c")
+
+    def test_fully_squeezed_row_shows_phase_order(self):
+        """All three phases in one column still render f, x, c left to
+        right (deterministic spill), never a lone commit glyph."""
+        tiny = self._trace(fetch_start=0, fetch_cmd=1, complete=2,
+                           commit_start=2, committed=3)
+        long = self._trace(gseq=1, fetch_start=0, fetch_cmd=400,
+                           complete=900, commit_start=900, committed=1000)
+        text = render_timeline([tiny, long], width=10)
+        chart = text.splitlines()[1]
+        assert chart.index("f") < chart.index("x") < chart.index("c")
+
+    def test_tiny_width_clamped(self):
+        """width < 2 used to degenerate (zero scale, divide-into-nothing
+        columns); it is now clamped and still renders every phase."""
+        for width in (-5, 0, 1):
+            text = render_timeline([self._trace()], width=width)
+            assert "legend" in text
+            row = text.splitlines()[1]
+            assert "f" in row or "x" in row or "c" in row
+
+    def test_deterministic(self):
+        traces = [self._trace(gseq=i, fetch_start=i, fetch_cmd=i + 3,
+                              complete=i + 9, commit_start=i + 9,
+                              committed=i + 12) for i in range(6)]
+        assert render_timeline(traces) == render_timeline(list(reversed(traces)))
