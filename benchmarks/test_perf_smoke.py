@@ -1,0 +1,121 @@
+"""Performance smoke tests: catch wall-clock regressions in the
+simulator hot path.
+
+Two jobs, timed with pytest-benchmark:
+
+* the figure-6 driver over the golden benchmark subset at scale=1 (the
+  same sweep the golden-result suite replays bit-identically), and
+* a micro benchmark of the bare event-queue step loop.
+
+Measured times are written to ``BENCH_sim.json`` at the repo root (CI
+uploads it as an artifact) and compared against the committed baseline
+in ``benchmarks/BENCH_baseline.json``.  Because absolute wall-clock
+differs across machines, the comparison is **calibrated**: a fixed
+pure-Python spin loop is timed alongside, and the baseline is scaled by
+the observed machine-speed ratio before applying the regression gate
+(>25% slower than the scaled baseline fails).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import repro.harness.runner as runner_mod
+from repro.harness import clear_cache, configure_cache, fig6_performance
+from repro.harness.golden import GOLDEN_BENCHMARKS, GOLDEN_SCALE
+from repro.tflex.events import EventQueue
+
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_baseline.json"
+OUTPUT_PATH = ROOT / "BENCH_sim.json"
+
+#: Regression gate: fail when a job runs >25% slower than the
+#: machine-scaled baseline.
+REGRESSION_FACTOR = 1.25
+#: Clamp on the calibration ratio, so a pathological calibration sample
+#: cannot silently disable (or absurdly tighten) the gate.
+CALIBRATION_CLAMP = (0.25, 4.0)
+STEP_LOOP_EVENTS = 200_000
+
+
+def calibrate() -> float:
+    """Wall time of a fixed pure-Python spin loop (machine-speed probe)."""
+    t0 = time.perf_counter()
+    x = 0
+    for i in range(2_000_000):
+        x ^= i
+    return time.perf_counter() - t0
+
+
+def step_loop(n: int = STEP_LOOP_EVENTS) -> int:
+    """Drive the bare event-queue kernel through ``n`` chained events."""
+    queue = EventQueue()
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            queue.after(1, tick)
+
+    queue.after(1, tick)
+    queue.run(max_cycles=n + 10)
+    return queue.events_processed
+
+
+def fig6_subset_cold() -> object:
+    """The golden-subset figure-6 sweep with every cache cold.
+
+    The session-wide in-process cache is stashed and restored so this
+    measurement is cold without slowing the other benchmark harnesses.
+    """
+    saved = dict(runner_mod._CACHE)
+    runner_mod._CACHE.clear()
+    configure_cache(enabled=False)
+    try:
+        return fig6_performance(scale=GOLDEN_SCALE,
+                                benchmarks=list(GOLDEN_BENCHMARKS))
+    finally:
+        runner_mod._CACHE.clear()
+        runner_mod._CACHE.update(saved)
+
+
+def _record(job: str, seconds: float, calibration: float) -> None:
+    data = {}
+    if OUTPUT_PATH.exists():
+        data = json.loads(OUTPUT_PATH.read_text())
+    data[job] = round(seconds, 4)
+    data[f"{job}_calibration"] = round(calibration, 4)
+    OUTPUT_PATH.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+
+
+def _check_regression(job: str, seconds: float, calibration: float) -> None:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ratio = calibration / baseline["calibration"]
+    lo, hi = CALIBRATION_CLAMP
+    ratio = min(max(ratio, lo), hi)
+    allowed = baseline[job] * ratio * REGRESSION_FACTOR
+    assert seconds <= allowed, (
+        f"{job}: {seconds:.3f}s exceeds scaled baseline "
+        f"{allowed:.3f}s (committed {baseline[job]:.3f}s, "
+        f"machine ratio {ratio:.2f}, gate x{REGRESSION_FACTOR})")
+
+
+def test_fig6_driver_smoke(benchmark):
+    calibration = calibrate()
+    result = benchmark.pedantic(fig6_subset_cold, rounds=1, iterations=1)
+    assert result.mean_best_speedup() > 1.0
+    seconds = benchmark.stats.stats.min
+    _record("fig6_subset", seconds, calibration)
+    _check_regression("fig6_subset", seconds, calibration)
+
+
+def test_step_loop_smoke(benchmark):
+    calibration = calibrate()
+    processed = benchmark.pedantic(step_loop, rounds=3, iterations=1)
+    assert processed == STEP_LOOP_EVENTS
+    seconds = benchmark.stats.stats.min
+    _record("step_loop", seconds, calibration)
+    _check_regression("step_loop", seconds, calibration)

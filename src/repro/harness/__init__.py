@@ -17,6 +17,7 @@ from repro.harness.runner import (
     configure_cache,
     get_store,
     prewarm_specs,
+    resolve_cache_dir,
     simulation_count,
 )
 from repro.harness.experiments import (
@@ -40,6 +41,7 @@ __all__ = [
     "configure_cache",
     "get_store",
     "prewarm_specs",
+    "resolve_cache_dir",
     "simulation_count",
     "fig5_baseline",
     "fig6_performance",

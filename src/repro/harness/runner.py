@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import tempfile
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -39,6 +40,27 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default store location, used by the CLI unless ``--cache-dir`` says
 #: otherwise.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def resolve_cache_dir() -> pathlib.Path:
+    """Default persistent-store location, hermetic under pytest.
+
+    Resolution order:
+
+    1. ``$REPRO_CACHE_DIR`` — explicit override, always wins;
+    2. under pytest (``PYTEST_CURRENT_TEST`` set): a per-process
+       directory beneath ``$XDG_CACHE_HOME`` (or the system temp dir),
+       so test runs can exercise the store without ever leaking
+       ``.repro-cache/`` into the working tree;
+    3. :data:`DEFAULT_CACHE_DIR` in the current working directory.
+    """
+    env_dir = os.environ.get(CACHE_DIR_ENV)
+    if env_dir:
+        return pathlib.Path(env_dir)
+    if "PYTEST_CURRENT_TEST" in os.environ:
+        base = os.environ.get("XDG_CACHE_HOME") or tempfile.gettempdir()
+        return pathlib.Path(base) / f"repro-cache-pytest-{os.getpid()}"
+    return pathlib.Path(DEFAULT_CACHE_DIR)
 
 
 @dataclass
@@ -122,14 +144,16 @@ def configure_cache(cache_dir: Union[str, pathlib.Path, None] = None,
     """Point the persistent store at ``cache_dir`` (or disable it).
 
     ``configure_cache(enabled=False)`` turns persistence off;
-    ``configure_cache()`` enables it at :data:`DEFAULT_CACHE_DIR`.
+    ``configure_cache()`` enables it at the :func:`resolve_cache_dir`
+    default (``.repro-cache``, or a temp-dir path under pytest).
     Returns the active store, if any.
     """
     global _STORE
     if not enabled:
         _STORE = None
     else:
-        root = pathlib.Path(cache_dir or DEFAULT_CACHE_DIR)
+        root = (pathlib.Path(cache_dir) if cache_dir is not None
+                else resolve_cache_dir())
         if root.exists() and not root.is_dir():
             raise NotADirectoryError(
                 f"cache dir exists and is not a directory: {root}")

@@ -88,6 +88,12 @@ class Block:
     reads: list[ReadSlot] = field(default_factory=list)
     writes: list[WriteSlot] = field(default_factory=list)
     comment: str = ""
+    # Memoized derived sets (blocks are immutable once built; the owner
+    # core consults these on every output-completion check).
+    _store_ids: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False)
+    _load_ids: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -101,15 +107,22 @@ class Block:
     @property
     def store_ids(self) -> frozenset[int]:
         """Declared LSQ slots that must resolve to a store or NULL."""
-        ids = set()
-        for inst in self.insts:
-            if inst.is_store or (inst.is_null and inst.null_store):
-                ids.add(inst.lsq_id)
-        return frozenset(ids)
+        cached = self._store_ids
+        if cached is None:
+            ids = set()
+            for inst in self.insts:
+                if inst.is_store or (inst.is_null and inst.null_store):
+                    ids.add(inst.lsq_id)
+            self._store_ids = cached = frozenset(ids)
+        return cached
 
     @property
     def load_ids(self) -> frozenset[int]:
-        return frozenset(i.lsq_id for i in self.insts if i.is_load)
+        cached = self._load_ids
+        if cached is None:
+            self._load_ids = cached = frozenset(
+                i.lsq_id for i in self.insts if i.is_load)
+        return cached
 
     @property
     def branches(self) -> list[Instruction]:

@@ -11,7 +11,7 @@ in the block.  Register-write slots form a second, parallel target space
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
+from enum import Enum, IntEnum
 from typing import Optional, Union
 
 from repro.isa.opcodes import OpSpec, OpClass
@@ -24,15 +24,19 @@ class TargetKind(Enum):
     WRITE = "write"  # a register-write queue slot of the block
 
 
-class OperandSlot(Enum):
-    """Operand slot of a consuming instruction (2 bits of the target)."""
+class OperandSlot(IntEnum):
+    """Operand slot of a consuming instruction (2 bits of the target).
+
+    An ``IntEnum`` so the hot operand-buffering path can use a member
+    directly as a list index (slot ``s`` -> buffer position ``s``).
+    """
 
     PRED = 0   # predicate operand
     OP0 = 1    # left operand
     OP1 = 2    # right operand
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Target:
     """One dataflow target: consumer coordinates within the block.
 
@@ -89,7 +93,7 @@ class LabelRef:
 Immediate = Union[int, float, LabelRef, None]
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """One EDGE instruction within a block.
 

@@ -54,6 +54,9 @@ class Program:
     reg_init: dict[int, int | float] = field(default_factory=dict)
     name: str = "program"
     _next_data: int = DATA_BASE
+    #: Memoized label -> code address map; rebuilt whenever ``order``
+    #: grows (``address_of`` is on the branch-resolution hot path).
+    _addr_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,11 +102,15 @@ class Program:
 
     def address_of(self, label: str) -> int:
         """Code address of a block."""
+        cache = self._addr_cache
+        if len(cache) != len(self.order):
+            cache.clear()
+            for index, name in enumerate(self.order):
+                cache[name] = CODE_BASE + index * BLOCK_STRIDE
         try:
-            index = self.order.index(label)
-        except ValueError:
+            return cache[label]
+        except KeyError:
             raise ProgramError(f"unknown block label {label!r}") from None
-        return CODE_BASE + index * BLOCK_STRIDE
 
     def label_at(self, addr: int) -> str:
         """Block label at a code address."""

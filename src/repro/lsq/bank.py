@@ -22,7 +22,7 @@ from enum import Enum
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class LsqEntry:
     """One in-flight memory operation resident in the bank."""
 
@@ -34,10 +34,12 @@ class LsqEntry:
     value: object = None
     fp: bool = False
     ctx: int = 0       # thread context (threads never alias each other)
+    #: Global memory order ``(gseq, lsq_id)``; materialized once so the
+    #: age-search loops compare tuples without property-call overhead.
+    order: tuple = field(init=False, repr=False, compare=False)
 
-    @property
-    def order(self) -> tuple[int, int]:
-        return (self.gseq, self.lsq_id)
+    def __post_init__(self) -> None:
+        self.order = (self.gseq, self.lsq_id)
 
     def overlaps(self, addr: int, size: int) -> bool:
         return self.addr < addr + size and addr < self.addr + self.size
@@ -67,7 +69,7 @@ class LsqStats:
     peak_occupancy: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadOutcome:
     """What the bank decided for a load."""
 
@@ -77,7 +79,7 @@ class LoadOutcome:
     conflict_lsq: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreOutcome:
     """What the bank decided for a store."""
 
@@ -200,6 +202,15 @@ class LsqBank:
                   if e.is_store and e.gseq == gseq and e.ctx == ctx]
         stores.sort(key=lambda e: e.lsq_id)
         return stores
+
+    def store_count_of_block(self, gseq: int, ctx: int = 0) -> int:
+        """Number of this block's stores resident here (commit-command
+        sizing; avoids materializing and sorting the drain list)."""
+        count = 0
+        for e in self._entries:
+            if e.is_store and e.gseq == gseq and e.ctx == ctx:
+                count += 1
+        return count
 
     def release_block(self, gseq: int, ctx: int = 0) -> int:
         """Remove all entries of a committed block. Returns count removed."""

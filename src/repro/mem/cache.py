@@ -23,7 +23,7 @@ class LineState(Enum):
     MODIFIED = "M"
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """One resident cache line."""
 
@@ -102,18 +102,24 @@ class CacheBank:
         Returns True on hit.  A write hit on a SHARED line still counts
         as a hit here; the caller consults the directory for upgrades.
         """
-        line_addr = self.line_addr(addr)
-        cache_set = self._set_of(line_addr)
+        line_addr = addr & ~(self.line_size - 1)
+        cache_set = self._sets[(line_addr // self.line_size) % self.num_sets]
         key = (ctx, line_addr)
-        hit = key in cache_set
-        if write:
-            self.stats.writes += 1
-            self.stats.write_misses += 0 if hit else 1
-        else:
-            self.stats.reads += 1
-            self.stats.read_misses += 0 if hit else 1
-        if hit:
+        # Hit fast path: one hashed lookup doubling as the LRU touch.
+        try:
             cache_set.move_to_end(key)
+            hit = True
+        except KeyError:
+            hit = False
+        stats = self.stats
+        if write:
+            stats.writes += 1
+            if not hit:
+                stats.write_misses += 1
+        else:
+            stats.reads += 1
+            if not hit:
+                stats.read_misses += 1
         return hit
 
     # ------------------------------------------------------------------

@@ -24,20 +24,41 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Topology:
-    """A ``width`` x ``height`` grid of nodes, row-major numbered."""
+    """A ``width`` x ``height`` grid of nodes, row-major numbered.
+
+    Coordinates, pairwise distances, and dimension-order routes are pure
+    functions of the (immutable) grid shape, so they are precomputed at
+    construction (routes lazily, memoized on first use) — the network
+    timing model queries them on every message.
+    """
 
     width: int
     height: int
 
+    def __post_init__(self) -> None:
+        n = self.width * self.height
+        coords = tuple((i % self.width, i // self.width) for i in range(n))
+        dist = [0] * (n * n)
+        for a, (ax, ay) in enumerate(coords):
+            base = a * n
+            for b, (bx, by) in enumerate(coords):
+                dist[base + b] = abs(ax - bx) + abs(ay - by)
+        # A frozen dataclass blocks normal assignment; these caches are
+        # derived state, invisible to eq/repr/hash.
+        object.__setattr__(self, "_num_nodes", n)
+        object.__setattr__(self, "_coords", coords)
+        object.__setattr__(self, "_dist", tuple(dist))
+        object.__setattr__(self, "_routes", {})
+
     @property
     def num_nodes(self) -> int:
-        return self.width * self.height
+        return self._num_nodes
 
     def coord(self, node: int) -> tuple[int, int]:
         """(x, y) coordinate of a node index."""
-        if not 0 <= node < self.num_nodes:
+        if not 0 <= node < self._num_nodes:
             raise ValueError(f"node {node} outside {self.width}x{self.height} mesh")
-        return node % self.width, node // self.width
+        return self._coords[node]
 
     def node(self, x: int, y: int) -> int:
         if not (0 <= x < self.width and 0 <= y < self.height):
@@ -46,15 +67,25 @@ class Topology:
 
     def distance(self, a: int, b: int) -> int:
         """Manhattan hop count between two nodes."""
-        ax, ay = self.coord(a)
-        bx, by = self.coord(b)
-        return abs(ax - bx) + abs(ay - by)
+        n = self._num_nodes
+        if 0 <= a < n and 0 <= b < n:
+            return self._dist[a * n + b]
+        bad = a if not 0 <= a < n else b
+        raise ValueError(f"node {bad} outside {self.width}x{self.height} mesh")
 
     def route(self, src: int, dst: int) -> list[tuple[int, int]]:
         """Dimension-order (X then Y) path as a list of directed links.
 
         Each link is ``(from_node, to_node)`` for adjacent nodes.
         """
+        return list(self.routes_cached(src, dst))
+
+    def routes_cached(self, src: int, dst: int) -> tuple[tuple[int, int], ...]:
+        """Memoized dimension-order path (shared tuple — do not mutate)."""
+        key = src * self._num_nodes + dst
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
         links = []
         x, y = self.coord(src)
         dx, dy = self.coord(dst)
@@ -66,7 +97,8 @@ class Topology:
             ny = y + (1 if dy > y else -1)
             links.append((self.node(x, y), self.node(x, ny)))
             y = ny
-        return links
+        self._routes[key] = result = tuple(links)
+        return result
 
 
 @dataclass
@@ -147,27 +179,31 @@ class Network:
             self.stats.local_deliveries += 1
             return now
         t = now
-        path = self.topology.route(src, dst)
+        stats = self.stats
+        free_map = self._free
+        hop_latency = self.hop_latency
+        channels = self.channels
+        path = self.topology.routes_cached(src, dst)
         for link in path:
-            free = self._free.get(link)
+            free = free_map.get(link)
             if free is None:
-                free = [0] * self.channels
-                self._free[link] = free
+                free = [0] * channels
+                free_map[link] = free
             # Pick the channel available soonest.
             best = 0
-            for ch in range(1, self.channels):
+            for ch in range(1, channels):
                 if free[ch] < free[best]:
                     best = ch
             start = t if free[best] <= t else free[best]
-            self.stats.contention_cycles += start - t
+            stats.contention_cycles += start - t
             # The message occupies the channel for the full hop traversal
             # (links are not pipelined): the next message over this link
             # cannot start before this one has left it.
-            free[best] = start + self.hop_latency
-            t = start + self.hop_latency
-        self.stats.messages += 1
-        self.stats.hops += len(path)
-        self.stats.total_latency += t - now
+            free[best] = start + hop_latency
+            t = start + hop_latency
+        stats.messages += 1
+        stats.hops += len(path)
+        stats.total_latency += t - now
         return t
 
     def zero_load_delay(self, src: int, dst: int) -> int:

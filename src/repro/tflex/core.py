@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FP_CLASSES
+from repro.tflex.instance import BlockState
 from repro.lsq import LsqBank
 from repro.mem.cache import CacheBank
 from repro.predictor import PredictorBank
@@ -22,6 +23,9 @@ from repro.predictor import PredictorBank
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tflex.instance import BlockInstance
     from repro.tflex.system import TFlexSystem
+
+#: Hoisted enum member: the issue loop tests it per ready entry.
+SQUASHED = BlockState.SQUASHED
 
 
 class Core:
@@ -54,6 +58,12 @@ class Core:
         self._ready: list[tuple[int, int, int, "BlockInstance", Instruction]] = []
         self._push_seq = 0                    # heap tie-breaker
         self._issue_scheduled = False
+        # Issue widths, resolved once (the config is frozen).
+        self._issue_int = cfg.issue_int
+        self._issue_fp = cfg.issue_fp
+        self._issue_total = (cfg.issue_total if cfg.issue_total is not None
+                             else cfg.issue_int + cfg.issue_fp)
+        self._queue = system.queue
 
     # ------------------------------------------------------------------
     # Composition
@@ -100,7 +110,7 @@ class Core:
     def _schedule_issue(self) -> None:
         if not self._issue_scheduled and self._ready:
             self._issue_scheduled = True
-            self.system.queue.after(1, self._issue_tick)
+            self._queue.after(1, self._issue_tick)
 
     def _issue_tick(self) -> None:
         prof = self.system.obs.profiler
@@ -116,17 +126,17 @@ class Core:
         if not self.procs:
             self._ready.clear()
             return
-        cfg = self.system.cfg.core
-        slots_int = cfg.issue_int
-        slots_fp = cfg.issue_fp
-        slots_total = cfg.issue_total if cfg.issue_total is not None else (
-            slots_int + slots_fp)
+        slots_int = self._issue_int
+        slots_fp = self._issue_fp
+        slots_total = self._issue_total
         deferred: list[tuple[int, int, int, "BlockInstance", Instruction]] = []
 
-        while self._ready and slots_total > 0:
-            entry = heapq.heappop(self._ready)
+        ready = self._ready
+        pop = heapq.heappop
+        while ready and slots_total > 0:
+            entry = pop(ready)
             __, __, __, instance, inst = entry
-            if instance.squashed or inst.iid in instance.fired:
+            if instance.state is SQUASHED or inst.iid in instance.fired:
                 continue
             is_fp = inst.op.opclass in FP_CLASSES
             if is_fp:

@@ -15,7 +15,10 @@ from repro.isa.opcodes import OpClass, evaluate, memory_size
 from repro.isa.program import HALT_ADDR
 from repro.lsq.bank import LsqResult
 from repro.mem.cache import LineState
-from repro.tflex.instance import BlockInstance
+from repro.tflex.instance import BlockInstance, BlockState
+
+#: Hoisted enum member: squash checks guard every hot handler.
+SQUASHED = BlockState.SQUASHED
 
 
 class _NullValue:
@@ -26,6 +29,12 @@ class _NullValue:
 
 
 NULL_VALUE = _NullValue()
+
+
+def _run_all(fns: list) -> None:
+    """Run a batch of same-cycle delivery thunks in order."""
+    for fn in fns:
+        fn()
 
 
 class DatapathMixin:
@@ -46,7 +55,7 @@ class DatapathMixin:
     def _do_issue(self, instance: BlockInstance, inst: Instruction, core) -> None:
         now = self.queue.now
         opclass = inst.op.opclass
-        self.stats.count("fpu_op" if inst.op.is_fp else "alu_op")
+        self._events["fpu_op" if inst.op.is_fp else "alu_op"] += 1
 
         if opclass is OpClass.BRANCH:
             self._issue_branch(instance, inst, core, now)
@@ -95,11 +104,50 @@ class DatapathMixin:
 
     def _route_result(self, instance: BlockInstance, inst: Instruction,
                       value, core, null: bool = False) -> None:
-        """Send a produced value to each encoded dataflow target."""
-        if instance.squashed:
+        """Send a produced value to each encoded dataflow target.
+
+        Deliveries landing on the same cycle are folded into one event
+        (batched operand delivery): the per-target ``operand_delay``
+        calls still run in target order — so link reservations and
+        traffic stats are untouched — and within this handler the
+        scheduled sequence numbers are consecutive, so no foreign event
+        can interleave; folding preserves the global order exactly.
+        """
+        if instance.state is SQUASHED:
             return
-        for target in inst.targets:
-            self._route_to_target(instance, target, value, core.id, null)
+        targets = inst.targets
+        if len(targets) == 1:
+            self._route_to_target(instance, targets[0], value, core.id, null)
+            return
+        from_core = core.id
+        pending_cycle = -1
+        pending: list = []
+        for target in targets:
+            arrive, fn = self._prepare_delivery(instance, target, value,
+                                                from_core, null)
+            if arrive == pending_cycle:
+                pending.append(fn)
+            else:
+                pending = [fn]
+                pending_cycle = arrive
+                self.queue.at(arrive, lambda fns=pending: _run_all(fns))
+
+    def _prepare_delivery(self, instance: BlockInstance, target: Target,
+                          value, from_core: int, null: bool):
+        """Arrival cycle + delivery thunk for one dataflow target."""
+        now = self.queue.now
+        if target.kind is TargetKind.WRITE:
+            wslot = instance.block.writes[target.index]
+            bank_index = self.rf_bank_of(wslot.reg)
+            bank_core = self._rf_bank_core_ids[bank_index]
+            arrive = self.operand_delay(from_core, bank_core, now)
+            return arrive, lambda: self._on_write_arrive(
+                instance, wslot.reg, value, null, bank_index)
+        consumer = instance.block.insts[target.index]
+        dest_core = self.core_ids[target.index % self.ncores]
+        arrive = self.operand_delay(from_core, dest_core, now)
+        return arrive, lambda: self._deliver_operand(
+            instance, consumer, target.slot, value, dest_core)
 
     def _route_to_target(self, instance: BlockInstance, target: Target,
                          value, from_core: int, null: bool = False) -> None:
@@ -120,22 +168,22 @@ class DatapathMixin:
 
     def _deliver_operand(self, instance: BlockInstance, consumer: Instruction,
                          slot: OperandSlot, value, dest_core: int) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
-        self.stats.count("window_write")
+        self._events["window_write"] += 1
         instance.buffer_operand(consumer.iid, slot, value)
         self.system.cores[dest_core].wake(instance, consumer)
 
     def _on_write_arrive(self, instance: BlockInstance, reg: int, value,
                          null: bool, bank_index: int) -> None:
         """A register write (or NULL) reached its register bank."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
-        self.stats.count("regfile_write")
+        self._events["regfile_write"] += 1
         self.rf_banks[bank_index].produce(instance.gseq, reg, value, null=null)
         # The bank notifies the owner for completion counting.
         owner = self.core_of_index(instance.owner_index)
-        bank_core = self.rf_bank_core(bank_index)
+        bank_core = self._rf_bank_core_ids[bank_index]
         arrive = self.control_delay(bank_core, owner, self.queue.now)
         self.queue.at(arrive, lambda: self._on_write_resolved(instance))
 
@@ -145,15 +193,15 @@ class DatapathMixin:
 
     def dispatch_read(self, instance: BlockInstance, read_index: int) -> None:
         """Resolve one read slot against the bank's forwarding state."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         read = instance.block.reads[read_index]
         bank_index = self.rf_bank_of(read.reg)
-        bank_core = self.rf_bank_core(bank_index)
-        self.stats.count("regfile_read")
+        bank_core = self._rf_bank_core_ids[bank_index]
+        self._events["regfile_read"] += 1
 
         def deliver(value) -> None:
-            if instance.squashed:
+            if instance.state is SQUASHED:
                 return
             for target in read.targets:
                 self._route_to_target(instance, target, value, bank_core)
@@ -205,7 +253,7 @@ class DatapathMixin:
     def _do_load_arrive(self, instance: BlockInstance, inst: Instruction,
                         addr: int) -> None:
         """A load reached its LSQ/D-cache bank."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         key = (instance.block.label, inst.lsq_id)
         if self._load_must_wait(instance, inst):
@@ -218,7 +266,7 @@ class DatapathMixin:
         bank_index = self.dbank_of(addr)
         bank_core = self.dbank_core(bank_index)
         lsq = self.system.cores[bank_core].lsq
-        self.stats.count("lsq_search")
+        self._events["lsq_search"] += 1
         outcome = lsq.load(instance.gseq, inst.lsq_id, addr, size, fp=fp,
                            ctx=self.ctx)
 
@@ -252,14 +300,14 @@ class DatapathMixin:
                      size: int, fp: bool, bank_index: int, bank_core: int) -> None:
         now = self.queue.now
         dcache = self.system.cores[bank_core].dcache
-        self.stats.count("dcache_read")
+        self._events["dcache_read"] += 1
         t_cache = now + self.cfg.core.lsq_search + self.cfg.core.dcache_hit
         if dcache.access(self.ctx, addr):
             self.queue.at(t_cache, lambda: self._finish_load_from_memory(
                 instance, inst, addr, size, fp, bank_core))
             return
         # Miss: fetch the line from L2 (which may go to DRAM).
-        self.stats.count("l2_access")
+        self._events["l2_access"] += 1
         done, state = self.system.l2.read(self.ctx, addr, bank_core, t_cache)
         victim = dcache.fill(self.ctx, addr, state)
         if victim is not None:
@@ -271,14 +319,14 @@ class DatapathMixin:
                                  addr: int, size: int, fp: bool,
                                  bank_core: int) -> None:
         """Read the architectural value at reply time (committed state)."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         value = self.memory.load(addr, size, fp=fp)
         self._finish_load(instance, inst, value, bank_core)
 
     def _finish_load(self, instance: BlockInstance, inst: Instruction,
                      value, bank_core: int) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         self.stats.loads_executed += 1
         core = self.system.cores[bank_core]
@@ -310,13 +358,13 @@ class DatapathMixin:
 
     def _do_store_arrive(self, instance: BlockInstance, inst: Instruction,
                          addr: int, value) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         size = memory_size(inst.op)
         fp = inst.op.name.endswith("F")
         bank_core = self.dbank_core(self.dbank_of(addr))
         lsq = self.system.cores[bank_core].lsq
-        self.stats.count("lsq_search")
+        self._events["lsq_search"] += 1
         outcome = lsq.store(instance.gseq, inst.lsq_id, addr, size, value,
                             fp=fp, ctx=self.ctx)
 
@@ -335,7 +383,7 @@ class DatapathMixin:
                     (victim.block.label, outcome.violation_lsq),
                     instance.gseq, inst.lsq_id)
             self.flush_from(outcome.violation_gseq, reason="violation")
-            if instance.squashed:
+            if instance.state is SQUASHED:
                 return   # the store's own block was the violator's block
 
         # Store accepted: notify the owner that this slot resolved.
@@ -378,7 +426,7 @@ class DatapathMixin:
         """True when every store older than (gseq, lsq_id) has resolved
         (executed, nullified, or its block committed/squashed)."""
         for other in self.inflight:
-            if other.squashed or other.gseq > gseq:
+            if other.state is SQUASHED or other.gseq > gseq:
                 continue
             if other.gseq == gseq:
                 if any(slot < lsq_id and slot not in other.resolved_store_slots
@@ -393,7 +441,7 @@ class DatapathMixin:
             return
         pending, self.deferred_loads = self.deferred_loads, []
         for instance, inst, addr in pending:
-            if instance.squashed:
+            if instance.state is SQUASHED:
                 continue
             if not self._load_must_wait(instance, inst):
                 # Re-present to the bank (charging a fresh LSQ search).
@@ -411,7 +459,7 @@ class DatapathMixin:
         bank_index = self.dbank_of(addr)
         bank_core = self.dbank_core(bank_index)
         lsq = self.system.cores[bank_core].lsq
-        self.stats.count("lsq_search")
+        self._events["lsq_search"] += 1
         outcome = lsq.load(instance.gseq, inst.lsq_id, addr, size, fp=fp,
                            ctx=self.ctx)
         if outcome.result is LsqResult.NACK:

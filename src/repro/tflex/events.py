@@ -20,6 +20,21 @@ class EventQueue:
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self.events_processed = 0
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return before the next event.
+
+        The fast-path alternative to polling an ``until`` predicate: a
+        handler that detects the stop condition (e.g. the last processor
+        halting) flags it once, instead of the loop re-evaluating the
+        condition before every event.
+        """
+        self._stopped = True
+
+    def clear_stop(self) -> None:
+        """Withdraw a stop request (e.g. new work composed mid-run)."""
+        self._stopped = False
 
     def at(self, cycle: int, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at an absolute cycle (>= now)."""
@@ -38,16 +53,37 @@ class EventQueue:
 
     def run(self, until: Optional[Callable[[], bool]] = None,
             max_cycles: int = 10_000_000) -> bool:
-        """Process events in order until the queue drains, ``until()``
-        holds, or the cycle budget is exceeded.
+        """Process events in order until the queue drains, :meth:`stop`
+        is called, ``until()`` holds, or the cycle budget is exceeded.
 
-        Returns True if stopped by ``until()`` (normal completion for
-        simulations) or queue drain, False on budget exhaustion.
+        Returns True if stopped (normal completion for simulations) or
+        on queue drain, False on budget exhaustion.  Both stop checks
+        happen *before* the next event, so a handler that flags the stop
+        condition leaves ``now`` at its own cycle — identical to the
+        polled ``until`` semantics.
         """
-        while self._heap:
-            if until is not None and until():
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        events = self.events_processed
+        if until is None:
+            while heap:
+                if self._stopped:
+                    break
+                cycle, __, fn = pop(heap)
+                if cycle > max_cycles:
+                    self.now = cycle
+                    self.events_processed = events
+                    return False
+                self.now = cycle
+                events += 1
+                fn()
+            self.events_processed = events
+            return True
+        while heap:
+            if self._stopped or until():
                 return True
-            cycle, __, fn = heapq.heappop(self._heap)
+            cycle, __, fn = pop(heap)
             if cycle > max_cycles:
                 self.now = cycle
                 return False

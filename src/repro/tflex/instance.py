@@ -26,7 +26,7 @@ class BlockState(Enum):
     SQUASHED = "squashed"
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockInstance:
     """One dynamic execution of a block on a composed processor."""
 
@@ -38,9 +38,13 @@ class BlockInstance:
     prediction: Optional[Prediction] = None   # of this block's *next* block
     state: BlockState = BlockState.FETCHING
     proc: object = None            # owning ComposedProcessor (set at fetch)
+    decoded: object = None         # DecodedBlock for the fetching composition
 
-    # Execution state, keyed by instruction ID.
-    operands: dict[int, dict[OperandSlot, object]] = field(default_factory=dict)
+    # Execution state, keyed by instruction ID.  Each value is a 3-slot
+    # buffer indexed by :class:`OperandSlot` (PRED=0, OP0=1, OP1=2);
+    # ``None`` marks an absent operand — real tokens are numbers or the
+    # NULL_VALUE sentinel, never ``None``.
+    operands: dict[int, list] = field(default_factory=dict)
     dispatched: set[int] = field(default_factory=set)
     fired: set[int] = field(default_factory=set)
     squashed_insts: set[int] = field(default_factory=set)
@@ -98,7 +102,10 @@ class BlockInstance:
 
     def buffer_operand(self, iid: int, slot: OperandSlot, value: object) -> None:
         """Stash an arriving operand (may precede dispatch)."""
-        self.operands.setdefault(iid, {})[slot] = value
+        ops = self.operands.get(iid)
+        if ops is None:
+            self.operands[iid] = ops = [None, None, None]
+        ops[slot] = value
 
     def ready_to_fire(self, inst: Instruction) -> bool:
         """True when a dispatched, unfired instruction has its operands
@@ -107,26 +114,25 @@ class BlockInstance:
         if (iid not in self.dispatched or iid in self.fired
                 or iid in self.squashed_insts):
             return False
-        slots = self.operands.get(iid, {})
+        ops = self.operands.get(iid)
         if inst.pred is not None:
-            pred_value = slots.get(OperandSlot.PRED)
+            pred_value = ops[0] if ops is not None else None
             if pred_value is None:
                 return False
             if bool(pred_value) != inst.pred:
                 self.squashed_insts.add(iid)
                 return False
         for slot_no in range(inst.num_operands):
-            slot = OperandSlot.OP0 if slot_no == 0 else OperandSlot.OP1
-            if slot not in slots:
+            if ops is None or ops[slot_no + 1] is None:
                 return False
         return True
 
     def operand_values(self, inst: Instruction) -> tuple:
-        slots = self.operands.get(inst.iid, {})
-        return tuple(
-            slots[OperandSlot.OP0 if i == 0 else OperandSlot.OP1]
-            for i in range(inst.num_operands)
-        )
+        n = inst.num_operands
+        if not n:
+            return ()
+        ops = self.operands[inst.iid]
+        return tuple(ops[1:1 + n])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (f"<B{self.gseq} {self.block.label}@{self.addr:#x} "

@@ -27,6 +27,7 @@ from repro.isa.program import BLOCK_STRIDE, Program
 from repro.mem.flatmem import FlatMemory
 from repro.predictor import DistributedRas, PredictorBank
 from repro.tflex.datapath import DatapathMixin
+from repro.tflex.decode import DecodedBlock
 from repro.tflex.instance import BlockInstance
 from repro.tflex.protocol import ProtocolMixin
 from repro.tflex.regfile import RegfileBank
@@ -121,6 +122,41 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         #: relative to it (systems host runs back to back).
         self.start_cycle = system.queue.now
 
+        # ------------------------------------------------------------------
+        # Hot-path tables (pure precomputation of the hash functions
+        # above; see docs/PERFORMANCE.md).
+        # ------------------------------------------------------------------
+        #: Energy-event counter, bound once: the datapath increments it
+        #: directly instead of going through ``stats.count``.
+        self._events = self.stats.energy_events
+        self._topology = system.topology
+        #: Flat pairwise hop-count table (``a * n + b``), borrowed from
+        #: the topology: core IDs are always valid node indices here, so
+        #: the delay helpers index it directly.
+        self._dist = system.topology._dist
+        self._nnodes = system.topology.num_nodes
+        self._opn = system.opn
+        self._control = system.control
+        #: Bank index -> global core ID (``rf_bank_core``/``dbank_core``
+        #: are pure functions of the composition).
+        self._rf_bank_core_ids = [self.core_of_index(b)
+                                  for b in range(self.num_rf_banks)]
+        dstride = max(1, self.ncores // self.num_dbanks)
+        self._dbank_core_ids = [self.core_of_index(b * dstride)
+                                for b in range(self.num_dbanks)]
+        #: Participating-core index -> bank indices resident there (the
+        #: commit protocol's drain lookup, inverted once).
+        part_of = {cid: i for i, cid in enumerate(self.core_ids)}
+        self._rf_banks_at: list[tuple[int, ...]] = [() for __ in core_ids]
+        for b, cid in enumerate(self._rf_bank_core_ids):
+            self._rf_banks_at[part_of[cid]] += (b,)
+        self._dbanks_at: list[tuple[int, ...]] = [() for __ in core_ids]
+        for b, cid in enumerate(self._dbank_core_ids):
+            self._dbanks_at[part_of[cid]] += (b,)
+        #: Decoded-block cache: block label -> placement/dispatch facts
+        #: for this composition (decode once per program, not per fetch).
+        self._decoded: dict[str, DecodedBlock] = {}
+
     # ------------------------------------------------------------------
     # Interleaving hash functions (paper section 4)
     # ------------------------------------------------------------------
@@ -147,7 +183,7 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
     def rf_bank_core(self, bank_index: int) -> int:
         """Register banks sit on the first cores of the composition
         (the top row in the TRIPS floorplan)."""
-        return self.core_of_index(bank_index)
+        return self._rf_bank_core_ids[bank_index]
 
     def dbank_of(self, addr: int) -> int:
         """D-cache/LSQ bank for a data address: XOR-folded line address
@@ -158,8 +194,22 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
     def dbank_core(self, bank_index: int) -> int:
         """D-cache banks spread down one edge of the composition (the
         left column in the TRIPS floorplan)."""
-        stride = max(1, self.ncores // self.num_dbanks)
-        return self.core_of_index(bank_index * stride)
+        return self._dbank_core_ids[bank_index]
+
+    # ------------------------------------------------------------------
+    # Decoded-block cache
+    # ------------------------------------------------------------------
+
+    def decoded(self, block) -> DecodedBlock:
+        """Placement/dispatch facts for ``block`` on this composition,
+        decoded on first fetch and replayed afterwards."""
+        entry = self._decoded.get(block.label)
+        if entry is None or entry.block is not block:
+            entry = DecodedBlock(block, self.ncores, self.num_rf_banks,
+                                 self.cfg.core.dispatch_width,
+                                 self.cfg.line_size)
+            self._decoded[block.label] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Network timing
@@ -169,18 +219,20 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         """Operand-network delivery time (reserves link bandwidth)."""
         if src == dst:
             return when
-        self.stats.count("opn_msg")
-        self.stats.count("opn_hop", self.system.topology.distance(src, dst))
-        return self.system.opn.delay(src, dst, when)
+        events = self._events
+        events["opn_msg"] += 1
+        events["opn_hop"] += self._dist[src * self._nnodes + dst]
+        return self._opn.delay(src, dst, when)
 
     def control_delay(self, src: int, dst: int, when: int) -> int:
         """Point-to-point control message delivery (reserves bandwidth);
         free under the ideal-handshake ablation (paper section 6.4)."""
         if src == dst or self.cfg.ideal_handshake:
             return when
-        self.stats.count("control_msg")
-        self.stats.count("control_hop", self.system.topology.distance(src, dst))
-        return self.system.control.delay(src, dst, when)
+        events = self._events
+        events["control_msg"] += 1
+        events["control_hop"] += self._dist[src * self._nnodes + dst]
+        return self._control.delay(src, dst, when)
 
     def control_broadcast_delay(self, src: int, dst: int, when: int) -> int:
         """One leg of a broadcast/combining operation (fetch commands,
@@ -189,9 +241,11 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         hop distance, not a serialized unicast per destination."""
         if src == dst or self.cfg.ideal_handshake:
             return when
-        self.stats.count("control_msg")
-        self.stats.count("control_hop", self.system.topology.distance(src, dst))
-        return when + self.system.control.zero_load_delay(src, dst)
+        distance = self._dist[src * self._nnodes + dst]
+        events = self._events
+        events["control_msg"] += 1
+        events["control_hop"] += distance
+        return when + distance * self._control.hop_latency
 
     # ------------------------------------------------------------------
     # Introspection

@@ -20,6 +20,9 @@ from repro.predictor.exits import GLOBAL_HISTORY_EXITS, push_history
 from repro.predictor.targets import BranchKind
 from repro.tflex.instance import BlockInstance, BlockState
 
+#: Hoisted enum member: squash checks guard every hot handler.
+SQUASHED = BlockState.SQUASHED
+
 
 #: Constant front-end latencies (paper figure 9a: the first three fetch
 #: components — prediction, I-cache tag access, fetch pipeline — total a
@@ -72,18 +75,19 @@ class ProtocolMixin:
         self.note_occupancy()
         now = self.queue.now
         block = self.program.block_at(addr)
+        decoded = self.decoded(block)
         owner_index = self.owner_index_of(addr)
         instance = BlockInstance(
             gseq=self.next_gseq, block=block, addr=addr,
             owner_index=owner_index, ghist_before=ghist,
-            t_fetch_start=now, proc=self,
+            t_fetch_start=now, proc=self, decoded=decoded,
         )
         self.next_gseq += 1
         self.inflight.append(instance)
         self.instances[instance.gseq] = instance
         self.stats.blocks_fetched += 1
         self.stats.insts_fetched += block.size
-        self.stats.count("icache_tag")
+        self._events["icache_tag"] += 1
 
         owner_core = self.core_of_index(owner_index)
         t_cmd = now + TAG_LATENCY + FETCH_PIPELINE_LATENCY
@@ -96,18 +100,30 @@ class ProtocolMixin:
         # carried by the fetch command; it is applied here, synchronously
         # and in gseq order, so a younger block's read can never race
         # ahead of an older block's declaration.
-        for wslot in block.writes:
-            self.rf_banks[self.rf_bank_of(wslot.reg)].declare(
-                instance.gseq, [wslot.reg])
+        gseq = instance.gseq
+        for bank_index, reg in decoded.write_slots:
+            self.rf_banks[bank_index].declare(gseq, (reg,))
 
         # Broadcast the fetch command to every participating core (a
-        # multicast on the control network).
+        # multicast on the control network).  Cores whose command
+        # arrives on the same cycle share one event: within this
+        # handler the scheduled sequence numbers are consecutive, so
+        # folding same-cycle deliveries preserves the global event
+        # order exactly (no foreign event can interleave).
         distribution = 0
+        buckets: dict[int, list[int]] = {}
         for index in range(self.ncores):
             dest = self.core_of_index(index)
             arrive = self.control_broadcast_delay(owner_core, dest, t_cmd)
-            distribution = max(distribution, arrive - t_cmd)
-            self.queue.at(arrive, lambda i=index: self._core_fetch(instance, i))
+            if arrive - t_cmd > distribution:
+                distribution = arrive - t_cmd
+            group = buckets.get(arrive)
+            if group is None:
+                buckets[arrive] = group = [index]
+                self.queue.at(arrive,
+                              lambda g=group: self._core_fetch_many(instance, g))
+            else:
+                group.append(index)
 
         instance.t_fetch_cmd = t_cmd
         instance.fetch_parts = {
@@ -153,6 +169,18 @@ class ProtocolMixin:
     # Per-core fetch + dispatch
     # ------------------------------------------------------------------
 
+    def _core_fetch_many(self, instance: BlockInstance,
+                         core_indices: list[int]) -> None:
+        """Same-cycle fetch-command arrivals, folded into one event."""
+        prof = self.obs.profiler
+        if prof.enabled:
+            with prof.phase("fetch"):
+                for core_index in core_indices:
+                    self._do_core_fetch(instance, core_index)
+            return
+        for core_index in core_indices:
+            self._do_core_fetch(instance, core_index)
+
     def _core_fetch(self, instance: BlockInstance, core_index: int) -> None:
         prof = self.obs.profiler
         if prof.enabled:
@@ -163,20 +191,18 @@ class ProtocolMixin:
     def _do_core_fetch(self, instance: BlockInstance, core_index: int) -> None:
         """One participating core fetches and dispatches its interleaved
         slice of the block (plus the register reads banked on it)."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         now = self.queue.now
         core = self.system.cores[self.core_of_index(core_index)]
-        chunk = [inst for inst in instance.block.insts
-                 if inst.iid % self.ncores == core_index]
+        decoded = instance.decoded
 
         # Register reads banked on this core resolve after header decode.
-        my_reads = [r.index for r in instance.block.reads
-                    if self.rf_bank_core(self.rf_bank_of(r.reg)) == core.id]
+        my_reads = decoded.reads_by_core[core_index]
         if my_reads:
             self.queue.at(now + 1, lambda: self._dispatch_reads(instance, my_reads))
 
-        if not chunk:
+        if not decoded.chunk_sizes[core_index]:
             return
 
         # I-cache: the slice occupies ceil(4*|chunk| / line) lines.  The
@@ -185,21 +211,20 @@ class ProtocolMixin:
         # slices under the same keys, which models per-core footprint
         # shrinking as composition grows).
         cfg = self.cfg.core
-        lines = max(1, -(-len(chunk) * 4 // self.cfg.line_size))
+        events = self._events
         t = now
-        for line_no in range(lines):
+        for line_no in range(decoded.icache_lines[core_index]):
             line_addr = instance.addr + line_no * self.cfg.line_size
-            self.stats.count("icache_access")
+            events["icache_access"] += 1
             t += cfg.icache_hit
             if not core.icache.access(self.ctx, line_addr):
                 done, state = self.system.l2.read(self.ctx, line_addr, core.id, t)
                 core.icache.fill(self.ctx, line_addr, state)
-                self.stats.count("l2_access")
+                events["l2_access"] += 1
                 t = done
 
         # Dispatch in groups of dispatch_width per cycle.
-        groups = [chunk[i:i + cfg.dispatch_width]
-                  for i in range(0, len(chunk), cfg.dispatch_width)]
+        groups = decoded.groups[core_index]
         for g, group in enumerate(groups):
             self.queue.at(t + g + 1,
                           lambda grp=group: self._dispatch_group(instance, grp, core))
@@ -209,17 +234,19 @@ class ProtocolMixin:
             instance.fetch_parts["dispatch"] = dispatch_lat
 
     def _dispatch_reads(self, instance: BlockInstance, read_indices: list[int]) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         for index in read_indices:
             self.dispatch_read(instance, index)
 
     def _dispatch_group(self, instance: BlockInstance, group, core) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
+        dispatched = instance.dispatched
+        events = self._events
         for inst in group:
-            instance.dispatched.add(inst.iid)
-            self.stats.count("window_write")
+            dispatched.add(inst.iid)
+            events["window_write"] += 1
             core.wake(instance, inst)
 
     # ------------------------------------------------------------------
@@ -228,7 +255,7 @@ class ProtocolMixin:
 
     def _on_branch_resolved(self, instance: BlockInstance, inst,
                             next_addr: int) -> None:
-        if instance.squashed or instance.branch_done:
+        if instance.state is SQUASHED or instance.branch_done:
             return
         instance.branch_done = True
         instance.actual_exit = inst.exit_id
@@ -294,7 +321,7 @@ class ProtocolMixin:
         ``refetch`` (dependence violations), fetch restarts at the oldest
         squashed block's address.
         """
-        victims = [i for i in self.inflight if i.gseq >= gseq and not i.squashed]
+        victims = [i for i in self.inflight if i.gseq >= gseq and not i.state is SQUASHED]
         if not victims:
             return
         self.note_occupancy()
@@ -317,7 +344,7 @@ class ProtocolMixin:
         for index in range(self.num_dbanks):
             self.system.cores[self.dbank_core(index)].lsq.squash_from(cut, ctx=self.ctx)
         self.deferred_loads = [
-            (inst, i, a) for (inst, i, a) in self.deferred_loads if not inst.squashed
+            (inst, i, a) for (inst, i, a) in self.deferred_loads if not inst.state is SQUASHED
         ]
         if refetch:
             oldest = victims[-1]
@@ -329,7 +356,7 @@ class ProtocolMixin:
     # ------------------------------------------------------------------
 
     def _on_store_resolved(self, instance: BlockInstance, lsq_id: int) -> None:
-        if instance.squashed or lsq_id in instance.resolved_store_slots:
+        if instance.state is SQUASHED or lsq_id in instance.resolved_store_slots:
             return
         instance.resolved_store_slots.add(lsq_id)
         instance.stores_done += 1
@@ -337,7 +364,7 @@ class ProtocolMixin:
         self._check_complete(instance)
 
     def _on_write_resolved(self, instance: BlockInstance) -> None:
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return
         instance.writes_done += 1
         self._check_complete(instance)
@@ -379,32 +406,32 @@ class ProtocolMixin:
         # Phase 2: commit command to all participating cores.
         # Phase 3: each core updates architectural state (register and
         # store drains proceed in parallel across banks) and acks.
-        writes_per_bank = [0] * len(self.rf_banks)
-        for wslot in instance.block.writes:
-            writes_per_bank[self.rf_bank_of(wslot.reg)] += 1
+        writes_per_bank = instance.decoded.writes_per_bank
+        gseq = instance.gseq
         stores_per_bank = [
-            len(self.system.cores[self.dbank_core(b)].lsq.stores_of_block(instance.gseq, ctx=self.ctx))
+            self.system.cores[self._dbank_core_ids[b]].lsq
+                .store_count_of_block(gseq, ctx=self.ctx)
             for b in range(self.num_dbanks)
         ]
 
         t_acks = now
-        max_cmd = 0
         max_update = 0
         for index in range(self.ncores):
             dest = self.core_of_index(index)
             t_cmd = self.control_broadcast_delay(owner, dest, now)
-            max_cmd = max(max_cmd, t_cmd - now)
             drain = 0
-            for b in range(len(self.rf_banks)):
-                if self.rf_bank_core(b) == dest:
-                    drain = max(drain, writes_per_bank[b])
-            for b in range(self.num_dbanks):
-                if self.dbank_core(b) == dest:
-                    drain = max(drain, stores_per_bank[b])
+            for b in self._rf_banks_at[index]:
+                if writes_per_bank[b] > drain:
+                    drain = writes_per_bank[b]
+            for b in self._dbanks_at[index]:
+                if stores_per_bank[b] > drain:
+                    drain = stores_per_bank[b]
             t_done = t_cmd + drain
-            max_update = max(max_update, drain)
+            if drain > max_update:
+                max_update = drain
             t_ack = self.control_broadcast_delay(dest, owner, t_done)
-            t_acks = max(t_acks, t_ack)
+            if t_ack > t_acks:
+                t_acks = t_ack
 
         # Phase 4: deallocation broadcast.
         t_dealloc = t_acks
@@ -430,7 +457,7 @@ class ProtocolMixin:
 
     def _do_finish_commit(self, instance: BlockInstance) -> None:
         """Apply architectural effects and free the block's frame."""
-        if instance.squashed:
+        if instance.state is SQUASHED:
             return   # flushed mid-commit (dependence violation upstream)
         self.note_occupancy()
         gseq = instance.gseq
@@ -456,9 +483,10 @@ class ProtocolMixin:
         self.stats.stores_committed += len(drained)
 
         # Register writes become architectural.
-        for wslot in instance.block.writes:
-            self.rf_banks[self.rf_bank_of(wslot.reg)].commit(gseq, wslot.reg)
-            self.stats.count("commit_write")
+        events = self._events
+        for bank_index, reg in instance.decoded.write_slots:
+            self.rf_banks[bank_index].commit(gseq, reg)
+            events["commit_write"] += 1
 
         # Train the predictor with the resolved block.
         if instance.prediction is not None:
@@ -533,6 +561,7 @@ class ProtocolMixin:
             self.flush_from(self.inflight[0].gseq, reason="halt", refetch=False)
         self.note_occupancy()
         self.halted = True
+        self.system.note_halted()
         self.stats.cycles = self.queue.now - self.start_cycle
         obs = self.obs
         if obs.active:

@@ -54,6 +54,11 @@ class TFlexSystem:
             l1_banks=lambda core_id: self.cores[core_id].dcache,
             dram=self.dram)
         self.procs: list[ComposedProcessor] = []
+        #: Count of composed processors that have not halted.  Kept
+        #: current by :meth:`compose` and :meth:`note_halted` so the
+        #: event loop never polls per-processor state (skip-idle
+        #: stepping: the queue stops itself when the count hits zero).
+        self._unhalted = 0
 
     # ------------------------------------------------------------------
     # Composition management
@@ -68,6 +73,9 @@ class TFlexSystem:
                                  share_cores=share_cores,
                                  max_inflight=max_inflight)
         self.procs.append(proc)
+        self._unhalted += 1
+        # A composition arriving mid-run withdraws any pending stop.
+        self.queue.clear_stop()
         return proc
 
     def compose_smt(self, core_ids: list[int], programs: list[Program],
@@ -119,14 +127,16 @@ class TFlexSystem:
             if not proc.halted and proc.next_gseq == 0:
                 proc.start()
 
-        def all_halted() -> bool:
-            return all(p.halted for p in self.procs)
-
-        finished = self.queue.run(until=all_halted, max_cycles=max_cycles)
+        # Event-driven completion: processors report halts through
+        # :meth:`note_halted`, and the queue stops itself when the last
+        # one halts — no per-event polling of processor state.
+        self._unhalted = sum(1 for p in self.procs if not p.halted)
+        finished = (self.queue.run(max_cycles=max_cycles)
+                    if self._unhalted else True)
         if not finished:
             raise SimulationDeadlock(
                 f"cycle budget ({max_cycles}) exhausted\n" + self._dump())
-        if not all_halted():
+        if not all(p.halted for p in self.procs):
             raise SimulationDeadlock("event queue drained early\n" + self._dump())
         for proc in self.procs:
             if proc.stats.cycles == 0:
@@ -137,6 +147,12 @@ class TFlexSystem:
             self.obs.emit("sim.done", cycle=self.queue.now,
                           procs=[p.name for p in self.procs])
         return self.queue.now
+
+    def note_halted(self) -> None:
+        """A composed processor halted; stop the queue after the last."""
+        self._unhalted -= 1
+        if self._unhalted <= 0:
+            self.queue.stop()
 
     def _dump(self) -> str:
         return "\n".join(p.debug_state() for p in self.procs)

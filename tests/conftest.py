@@ -2,17 +2,26 @@
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
-from repro.harness import clear_cache, configure_cache
+from repro.harness import clear_cache, configure_cache, resolve_cache_dir
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _hermetic_cache():
     """Hermetic tier-1 runs: empty in-process cache, persistent store
     disabled (tests that exercise the store enable it on a tmp_path and
-    restore this state afterwards)."""
+    restore this state afterwards).  Any store a test enables at the
+    default location lands in the pytest-scoped temp path resolved by
+    ``resolve_cache_dir``; that path is removed when the session ends so
+    repeated runs start cold and nothing leaks into the working tree."""
     clear_cache()
     configure_cache(enabled=False)
     yield
     clear_cache()
+    configure_cache(enabled=False)
+    hermetic = resolve_cache_dir()
+    if hermetic.name != ".repro-cache":
+        shutil.rmtree(hermetic, ignore_errors=True)

@@ -1,0 +1,58 @@
+"""Cache-directory hermeticity: test runs must never leak a
+``.repro-cache/`` store into the working tree.
+
+``resolve_cache_dir`` routes the default store to a per-process temp
+path whenever pytest is driving (``PYTEST_CURRENT_TEST`` is set); an
+explicit ``$REPRO_CACHE_DIR`` still wins, and outside pytest the
+default remains ``.repro-cache`` in the working directory.
+"""
+
+import pathlib
+
+from repro.harness import configure_cache, resolve_cache_dir
+from repro.harness.runner import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_default_is_hermetic_under_pytest(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    resolved = resolve_cache_dir()
+    assert resolved.name != DEFAULT_CACHE_DIR
+    # Never inside the (tmp) working directory or the repository tree.
+    assert tmp_path not in resolved.parents
+    assert REPO_ROOT not in resolved.resolve().parents
+
+
+def test_env_override_wins(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "explicit"))
+    assert resolve_cache_dir() == tmp_path / "explicit"
+
+
+def test_default_outside_pytest_is_cwd_store(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+    assert resolve_cache_dir() == pathlib.Path(DEFAULT_CACHE_DIR)
+
+
+def test_default_enabled_store_avoids_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    try:
+        store = configure_cache()  # default-enabled, no explicit dir
+        assert store is not None
+        root = pathlib.Path(store.root)
+        assert tmp_path not in root.parents and root != tmp_path
+        assert not (tmp_path / DEFAULT_CACHE_DIR).exists()
+    finally:
+        configure_cache(enabled=False)
+
+
+def test_explicit_dir_still_honoured(tmp_path):
+    try:
+        store = configure_cache(cache_dir=tmp_path / "mystore")
+        assert pathlib.Path(store.root) == tmp_path / "mystore"
+    finally:
+        configure_cache(enabled=False)

@@ -1,0 +1,73 @@
+"""Golden-result regression suite: the gate for hot-path optimizations.
+
+Every figure driver is re-run at ``scale=1`` over the golden benchmark
+subset and its summary payload is compared for *exact* equality against
+the fixtures committed under ``tests/golden/`` (generated on ``main``
+before the simulator fast paths landed).  Cycle counts, speedups, stat
+breakdowns, energy-event counters, and power totals may not move by one
+unit — any drift means an optimization changed simulation semantics,
+not just wall-clock.
+
+To bless an intentional semantic change, regenerate the fixtures::
+
+    PYTHONPATH=src python -m repro.harness.golden tests/golden
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.golden import (
+    FIXTURE_NAMES,
+    collect_fixtures,
+    load_fixture,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+
+
+def _normalize(payload: dict) -> dict:
+    """Round-trip through JSON so live payloads compare under the same
+    representation as the committed fixtures (tuples become lists, int
+    dict keys become strings; floats round-trip exactly)."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def live_fixtures():
+    """One shared driver sweep for every golden test (the in-process
+    result cache makes each simulation point run exactly once)."""
+    return collect_fixtures()
+
+
+def test_fixture_files_present():
+    missing = [n for n in FIXTURE_NAMES
+               if not (GOLDEN_DIR / f"{n}.json").is_file()]
+    assert not missing, f"missing golden fixtures: {missing}"
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_driver_matches_golden(live_fixtures, name):
+    golden = load_fixture(GOLDEN_DIR, name)
+    live = _normalize(live_fixtures[name])
+    assert live.keys() == golden.keys()
+    for key in golden:
+        assert live[key] == golden[key], (
+            f"{name}.json:{key} drifted from the golden fixture — "
+            f"a simulator change altered cycle-accurate semantics")
+
+
+def test_fig6_stats_cover_all_points(live_fixtures):
+    """The fixture pins full stat breakdowns (not just cycles) for every
+    benchmark x configuration point."""
+    fig6 = _normalize(live_fixtures["fig6"])
+    labels = [f"tflex-{n}" for n in fig6["core_counts"]] + ["trips"]
+    for bench in fig6["benchmarks"]:
+        assert sorted(fig6["stats"][bench]) == sorted(labels)
+        for label in labels:
+            stats = fig6["stats"][bench][label]
+            assert stats["cycles"] == fig6["cycles"][bench][label]
+            assert stats["energy_events"], (bench, label)

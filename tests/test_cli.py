@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.harness import clear_cache, configure_cache
+from repro.harness import clear_cache, configure_cache, resolve_cache_dir
 
 
 @pytest.fixture(autouse=True)
@@ -61,8 +61,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tflex-2" in out
         assert "cycles" in out
-        # The default store landed in the (tmp) working directory.
-        assert list((tmp_path / ".repro-cache").rglob("*.json"))
+        # The default store landed in the hermetic pytest location, not
+        # the working directory.
+        assert list(resolve_cache_dir().rglob("*.json"))
+        assert not (tmp_path / ".repro-cache").exists()
 
     def test_run_no_cache(self, capsys, tmp_path):
         assert main(["run", "dither", "--cores", "2", "--no-cache"]) == 0

@@ -7,8 +7,22 @@ random dataflow, predicated regions (including NULL-resolved writes and
 stores), stores/loads over a small aligned scratch region (exercising
 LSQ forwarding and violation replay), and data-dependent two-way
 branches (exercising prediction, misprediction recovery, and wrong-path
-squashing)."""
+squashing).
 
+Every generated program runs through a **three-way differential
+oracle**: the ISA interpreter (golden model), a 1-core TFlex composition
+(no distribution protocols), and an N-core composition (the full
+distributed fetch/execute/commit machinery).  All three must agree on
+architectural registers, scratch memory, and committed-block count.  The
+generator body is shared between a Hypothesis strategy (which keeps
+counterexamples shrinkable) and a plain seeded PRNG (`SEEDED_CASES`
+below — deterministic regression cases that need no Hypothesis database
+and reproduce from the seed alone).
+"""
+
+import random
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import BlockBuilder, Interpreter, Program
@@ -19,39 +33,82 @@ SCRATCH = 0x20_0000
 SCRATCH_WORDS = 8
 INIT_REGS = (2, 3, 4, 5)
 
+#: Deterministic differential cases: (generator seed, composition size).
+#: Failures reproduce from the tuple alone — no example database needed.
+SEEDED_CASES = tuple((seed, (2, 4, 8)[seed % 3]) for seed in range(24))
 
-@st.composite
-def random_program(draw):
-    num_blocks = draw(st.integers(2, 5))
+
+class HypothesisSource:
+    """Draws through Hypothesis strategies (so shrinking works)."""
+
+    def __init__(self, draw):
+        self._draw = draw
+
+    def integer(self, lo, hi):
+        return self._draw(st.integers(lo, hi))
+
+    def boolean(self):
+        return self._draw(st.booleans())
+
+    def choice(self, seq):
+        return self._draw(st.sampled_from(list(seq)))
+
+    def unique_sample(self, seq, max_size):
+        return self._draw(st.lists(st.sampled_from(list(seq)), unique=True,
+                                   max_size=max_size))
+
+
+class SeededSource:
+    """Draws from a plain PRNG: fully determined by the seed."""
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def integer(self, lo, hi):
+        return self._rng.randint(lo, hi)
+
+    def boolean(self):
+        return self._rng.random() < 0.5
+
+    def choice(self, seq):
+        seq = list(seq)
+        return seq[self._rng.randrange(len(seq))]
+
+    def unique_sample(self, seq, max_size):
+        seq = list(seq)
+        return self._rng.sample(seq, self._rng.randint(0, min(max_size, len(seq))))
+
+
+def build_random_program(src) -> Program:
+    """Generate one random valid program from a draw source."""
+    num_blocks = src.integer(2, 5)
     program = Program(entry="b0", name="random")
-    program.reg_init = {
-        reg: draw(st.integers(-40, 40)) for reg in INIT_REGS
-    }
+    program.reg_init = {reg: src.integer(-40, 40) for reg in INIT_REGS}
 
     for index in range(num_blocks):
         b = BlockBuilder(f"b{index}")
         pool = [b.read(reg) for reg in INIT_REGS]
-        pool.append(b.movi(draw(st.integers(-10, 10))))
+        pool.append(b.movi(src.integer(-10, 10)))
 
         def pick():
-            return pool[draw(st.integers(0, len(pool) - 1))]
+            return pool[src.integer(0, len(pool) - 1)]
 
         # Random straight-line dataflow.
-        for __ in range(draw(st.integers(1, 6))):
-            op = draw(st.sampled_from(["ADD", "SUB", "MUL", "AND", "XOR"]))
+        for __ in range(src.integer(1, 6)):
+            op = src.choice(["ADD", "SUB", "MUL", "AND", "XOR"])
             pool.append(b.op(op, pick(), pick()))
 
         # A predicated region with covered outputs.
         written: set[int] = set()
-        if draw(st.booleans()):
-            pred = b.op("TLTI", pick(), imm=draw(st.integers(-20, 20)))
-            reg = draw(st.sampled_from(INIT_REGS))
+        if src.boolean():
+            pred = b.op("TLTI", pick(), imm=src.integer(-20, 20))
+            reg = src.choice(INIT_REGS)
             written.add(reg)
             value = b.op("ADDI", pick(), imm=1, pred=(pred, True))
             b.write(reg, value)
             b.null_write(reg, pred=(pred, False))
-            if draw(st.booleans()):
-                addr = b.movi(SCRATCH + 8 * draw(st.integers(0, SCRATCH_WORDS - 1)),
+            if src.boolean():
+                addr = b.movi(SCRATCH + 8 * src.integer(0, SCRATCH_WORDS - 1),
                               pred=(pred, True))
                 data = b.op("ADDI", value, imm=7, pred=(pred, True))
                 handle = b.store(addr, data, pred=(pred, True))
@@ -59,9 +116,9 @@ def random_program(draw):
 
         # Unconditional memory traffic (same-word aliasing is exact, so
         # forwarding and violations stay well-defined).
-        for __ in range(draw(st.integers(0, 2))):
-            slot = draw(st.integers(0, SCRATCH_WORDS - 1))
-            if draw(st.booleans()):
+        for __ in range(src.integer(0, 2)):
+            slot = src.integer(0, SCRATCH_WORDS - 1)
+            if src.boolean():
                 b.store(b.movi(SCRATCH + 8 * slot), pick())
             else:
                 pool.append(b.load(b.movi(SCRATCH + 8 * slot)))
@@ -69,8 +126,7 @@ def random_program(draw):
         # Unpredicated register updates (a slot may have only one
         # producer per dynamic path, so skip regs the predicated region
         # already covers).
-        for reg in draw(st.lists(st.sampled_from(INIT_REGS), unique=True,
-                                 max_size=2)):
+        for reg in src.unique_sample(INIT_REGS, max_size=2):
             if reg not in written:
                 b.write(reg, pick())
 
@@ -79,10 +135,10 @@ def random_program(draw):
         if index == num_blocks - 1:
             b.branch("HALT", exit_id=0)
         else:
-            succ_a = draw(st.integers(index + 1, num_blocks - 1))
-            if draw(st.booleans()):
-                succ_b = draw(st.integers(index + 1, num_blocks - 1))
-                branch_pred = b.op("TGEI", pick(), imm=draw(st.integers(-10, 10)))
+            succ_a = src.integer(index + 1, num_blocks - 1)
+            if src.boolean():
+                succ_b = src.integer(index + 1, num_blocks - 1)
+                branch_pred = b.op("TGEI", pick(), imm=src.integer(-10, 10))
                 b.branch("BRO", target=f"b{succ_a}", exit_id=0,
                          pred=(branch_pred, True))
                 b.branch("BRO", target=f"b{succ_b}", exit_id=1,
@@ -95,17 +151,39 @@ def random_program(draw):
     return program
 
 
+@st.composite
+def random_program(draw):
+    return build_random_program(HypothesisSource(draw))
+
+
 def _scratch_words(memory):
     return [memory.load(SCRATCH + 8 * i, 8) for i in range(SCRATCH_WORDS)]
 
 
-@settings(max_examples=60, deadline=None)
-@given(random_program(), st.sampled_from([1, 2, 4, 8]))
-def test_simulator_matches_interpreter(program, ncores):
+def assert_three_way_agreement(program: Program, ncores: int) -> None:
+    """Interpreter, 1-core sim, and N-core sim must agree exactly."""
     golden = Interpreter(program)
     result = golden.run(max_blocks=1000)
+    expected_scratch = _scratch_words(golden.mem)
 
-    proc = run_program(program, num_cores=ncores, max_cycles=2_000_000)
-    assert proc.regs == golden.regs
-    assert _scratch_words(proc.memory) == _scratch_words(golden.mem)
-    assert proc.stats.blocks_committed == result.blocks_executed
+    for cores in (1, ncores):
+        proc = run_program(program, num_cores=cores, max_cycles=2_000_000)
+        label = f"{cores}-core"
+        assert proc.regs == golden.regs, f"{label}: register state diverged"
+        assert _scratch_words(proc.memory) == expected_scratch, \
+            f"{label}: scratch memory diverged"
+        assert proc.stats.blocks_committed == result.blocks_executed, \
+            f"{label}: committed-block count diverged"
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_program(), st.sampled_from([2, 4, 8]))
+def test_simulator_matches_interpreter(program, ncores):
+    assert_three_way_agreement(program, ncores)
+
+
+@pytest.mark.parametrize("seed,ncores", SEEDED_CASES)
+def test_seeded_differential(seed, ncores):
+    """Deterministic oracle cases: same seed, same program, forever."""
+    program = build_random_program(SeededSource(seed))
+    assert_three_way_agreement(program, ncores)
