@@ -1,15 +1,20 @@
 """Performance smoke tests: catch wall-clock regressions in the
 simulator hot path.
 
-Two jobs, timed with pytest-benchmark:
+Three jobs, timed with pytest-benchmark:
 
 * the figure-6 driver over the golden benchmark subset at scale=1 (the
-  same sweep the golden-result suite replays bit-identically), and
-* a micro benchmark of the bare event-queue step loop.
+  same sweep the golden-result suite replays bit-identically),
+* a micro benchmark of the bare event-queue step loop, and
+* the functional interpreter loop (the sampled-simulation
+  fast-forward path) over a golden program.
 
-Measured times are written to ``BENCH_sim.json`` at the repo root (CI
-uploads it as an artifact) and compared against the committed baseline
-in ``benchmarks/BENCH_baseline.json``.  Because absolute wall-clock
+Each measurement is **appended** to ``BENCH_sim.json`` at the repo root
+as part of this session's run record (machine id, git sha, python
+version, timings — see :mod:`repro.harness.benchrecord`), so the file
+accumulates a trajectory across runs; CI uploads it as an artifact.
+Times are compared against the committed baseline in
+``benchmarks/BENCH_baseline.json``.  Because absolute wall-clock
 differs across machines, the comparison is **calibrated**: a fixed
 pure-Python spin loop is timed alongside, and the baseline is scaled by
 the observed machine-speed ratio before applying the regression gate
@@ -24,8 +29,11 @@ import time
 
 import repro.harness.runner as runner_mod
 from repro.harness import clear_cache, configure_cache, fig6_performance
+from repro.harness.benchrecord import record_job
 from repro.harness.golden import GOLDEN_BENCHMARKS, GOLDEN_SCALE
+from repro.isa.interp import Interpreter
 from repro.tflex.events import EventQueue
+from repro.workloads import BENCHMARKS
 
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -82,17 +90,30 @@ def fig6_subset_cold() -> object:
         runner_mod._CACHE.update(saved)
 
 
+def interp_loop(iterations: int = 10) -> int:
+    """Functionally execute a golden program ``iterations`` times.
+
+    This is the sampled-simulation fast-forward path: prepared blocks
+    are compiled once per interpreter and reused across executions."""
+    program, __, __k = BENCHMARKS["ammp"].edge_program(1)
+    blocks = 0
+    for _ in range(iterations):
+        interp = Interpreter(program)
+        result = interp.run()
+        assert not result.truncated
+        blocks += result.blocks_executed
+    return blocks
+
+
 def _record(job: str, seconds: float, calibration: float) -> None:
-    data = {}
-    if OUTPUT_PATH.exists():
-        data = json.loads(OUTPUT_PATH.read_text())
-    data[job] = round(seconds, 4)
-    data[f"{job}_calibration"] = round(calibration, 4)
-    OUTPUT_PATH.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    record_job(OUTPUT_PATH, ROOT, job, seconds, calibration)
 
 
 def _check_regression(job: str, seconds: float, calibration: float) -> None:
     baseline = json.loads(BASELINE_PATH.read_text())
+    if job not in baseline:
+        # New job with no committed baseline yet: record only.
+        return
     ratio = calibration / baseline["calibration"]
     lo, hi = CALIBRATION_CLAMP
     ratio = min(max(ratio, lo), hi)
@@ -119,3 +140,12 @@ def test_step_loop_smoke(benchmark):
     seconds = benchmark.stats.stats.min
     _record("step_loop", seconds, calibration)
     _check_regression("step_loop", seconds, calibration)
+
+
+def test_interp_loop_smoke(benchmark):
+    calibration = calibrate()
+    blocks = benchmark.pedantic(interp_loop, rounds=3, iterations=1)
+    assert blocks > 0
+    seconds = benchmark.stats.stats.min
+    _record("interp_loop", seconds, calibration)
+    _check_regression("interp_loop", seconds, calibration)

@@ -17,6 +17,12 @@ points), ``--cache-dir DIR`` and ``--no-cache`` (the persistent result
 store under ``.repro-cache/`` — see docs/EXECUTION.md), plus
 ``--trace-out FILE`` (JSONL event trace) and ``--metrics`` (print the
 metrics registry) — see docs/OBSERVABILITY.md.
+
+``run``, ``sweep`` and the fig6-derived figures additionally take
+``--sample`` (with ``--sample-ff/--sample-window/--sample-warmup``) to
+run TFlex points under the sampled-simulation engine — interpreter
+fast-forward between detailed windows; see docs/PERFORMANCE.md for the
+accuracy/speedup trade-off.
 """
 
 from __future__ import annotations
@@ -44,11 +50,25 @@ def _cmd_run(args) -> int:
         print(f"{args.bench} on OoO baseline: {result.cycles} cycles, "
               f"{result.insts} insts, {result.mispredictions} mispredicts")
         return 0
+    sampling = _sampling_from_args(args)
+    if sampling and args.machine == "trips":
+        print("repro: --sample applies to TFlex compositions only; "
+              "the TRIPS baseline always runs in full detail",
+              file=sys.stderr)
+        sampling = None
     run = run_edge_benchmark(args.bench, ncores=args.cores,
-                             trips=(args.machine == "trips"), scale=args.scale)
+                             trips=(args.machine == "trips"),
+                             scale=args.scale, sampling=sampling)
     print(f"{args.bench} on {run.label}:")
     print(run.stats.summary())
     print(run.power.table())
+    if run.sampling:
+        info = run.sampling
+        print(f"sampled: {info['windows']} windows, "
+              f"{info['window_insts']}/{info['total_insts']} insts in "
+              f"detail, IPC estimate {info['ipc_estimate']:.3f}"
+              + ("" if info["ipc_rel_stddev"] is None else
+                 f" (+/-{info['ipc_rel_stddev']:.1%} window spread)"))
     return 0
 
 
@@ -57,14 +77,17 @@ def _cmd_sweep(args) -> int:
     from repro.harness import format_table, prewarm_specs, run_edge_benchmark
 
     core_counts = (1, 2, 4, 8, 16, 32)
+    sampling = _sampling_from_args(args)
     if args.jobs > 1:
-        prewarm_specs([JobSpec.edge(args.bench, ncores=n, scale=args.scale)
+        prewarm_specs([JobSpec.edge(args.bench, ncores=n, scale=args.scale,
+                                    sampling=sampling)
                        for n in core_counts],
                       jobs=args.jobs, progress=True)
     rows = []
     base = None
     for ncores in core_counts:
-        run = run_edge_benchmark(args.bench, ncores=ncores, scale=args.scale)
+        run = run_edge_benchmark(args.bench, ncores=ncores, scale=args.scale,
+                                 sampling=sampling)
         base = base or run.cycles
         rows.append([ncores, run.cycles, round(base / run.cycles, 2),
                      round(run.stats.ipc, 2), round(run.power.total, 2)])
@@ -134,7 +157,8 @@ def _cmd_figure(args) -> int:
                                      jobs=args.jobs, progress=progress).render())
         return 0
     fig6 = harness.fig6_performance(scale=args.scale, benchmarks=benchmarks,
-                                    jobs=args.jobs, progress=progress)
+                                    jobs=args.jobs, progress=progress,
+                                    sampling=_sampling_from_args(args))
     if args.command == "fig6":
         print(fig6.render())
     elif args.command == "fig7":
@@ -146,6 +170,33 @@ def _cmd_figure(args) -> int:
     elif args.command == "table2":
         print(harness.table2_area_power(fig6).render())
     return 0
+
+
+def _add_sample_flags(sub_parser) -> None:
+    """Sampled-simulation knobs (see docs/PERFORMANCE.md)."""
+    sub_parser.add_argument(
+        "--sample", action="store_true",
+        help="sampled simulation: interpreter fast-forward with "
+             "periodic detailed windows (TFlex points only)")
+    sub_parser.add_argument(
+        "--sample-ff", type=int, default=448, metavar="BLOCKS",
+        help="blocks fast-forwarded between detailed windows (default 448)")
+    sub_parser.add_argument(
+        "--sample-window", type=int, default=40, metavar="BLOCKS",
+        help="measured blocks per detailed window (default 40)")
+    sub_parser.add_argument(
+        "--sample-warmup", type=int, default=8, metavar="BLOCKS",
+        help="warm-up blocks run in detail before each window's "
+             "measurement mark (default 8)")
+
+
+def _sampling_from_args(args) -> dict | None:
+    """The JobSpec sampling mapping for --sample, or None without it."""
+    if not getattr(args, "sample", False):
+        return None
+    return {"ff_blocks": args.sample_ff,
+            "window_blocks": args.sample_window,
+            "warmup_blocks": args.sample_warmup}
 
 
 def _add_exec_flags(sub_parser, jobs: bool = True) -> None:
@@ -183,11 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--machine", choices=("tflex", "trips", "ooo"),
                        default="tflex")
     run_p.add_argument("--scale", type=int, default=1)
+    _add_sample_flags(run_p)
     _add_exec_flags(run_p, jobs=False)
 
     sweep_p = sub.add_parser("sweep", help="composition sweep for one benchmark")
     sweep_p.add_argument("bench")
     sweep_p.add_argument("--scale", type=int, default=1)
+    _add_sample_flags(sweep_p)
     _add_exec_flags(sweep_p)
 
     disasm_p = sub.add_parser("disasm", help="print compiled hyperblocks")
@@ -216,6 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="NAME",
                            help="restrict to this benchmark (repeatable; "
                                 "default: the full suite)")
+        if fig in ("fig6", "fig7", "fig8", "fig10", "table2"):
+            _add_sample_flags(fig_p)
         _add_exec_flags(fig_p)
     return parser
 

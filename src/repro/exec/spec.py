@@ -23,7 +23,9 @@ from typing import Any, Mapping, Optional
 
 #: Bump whenever the stored result schema or simulator semantics change;
 #: every on-disk record keyed under the old salt becomes a miss.
-SCHEMA_VERSION = 1
+#: 2: sampled-simulation support (``sampling`` spec field; RunResult
+#:    payloads may carry a ``sampling`` section).
+SCHEMA_VERSION = 2
 
 
 def _freeze_overrides(overrides: Optional[Mapping[str, Any]]) -> tuple:
@@ -53,13 +55,17 @@ class JobSpec:
     overrides: tuple = ()
     core_overrides: tuple = ()
     verify: bool = True
+    #: Sampled-simulation parameters as frozen items (empty = full
+    #: detail); see :class:`repro.sample.SamplingConfig`.
+    sampling: tuple = ()
 
     @staticmethod
     def edge(bench: str, ncores: int = 8, trips: bool = False,
              scale: int = 1, ideal_handshake: bool = False,
              overrides: Optional[Mapping[str, Any]] = None,
              core_overrides: Optional[Mapping[str, Any]] = None,
-             verify: bool = True) -> "JobSpec":
+             verify: bool = True,
+             sampling: Optional[Mapping[str, Any]] = None) -> "JobSpec":
         # TRIPS ignores the requested composition size (the prototype is
         # fixed); normalise it out so equivalent points share one hash.
         return JobSpec(
@@ -68,7 +74,8 @@ class JobSpec:
             ideal_handshake=ideal_handshake,
             overrides=_freeze_overrides(overrides),
             core_overrides=_freeze_overrides(core_overrides),
-            verify=verify)
+            verify=verify,
+            sampling=_freeze_overrides(sampling))
 
     @staticmethod
     def risc(bench: str, scale: int = 1, verify: bool = True) -> "JobSpec":
@@ -81,6 +88,9 @@ class JobSpec:
     def core_overrides_dict(self) -> dict:
         return dict(self.core_overrides)
 
+    def sampling_dict(self) -> dict:
+        return dict(self.sampling)
+
     def label(self) -> str:
         """Human-readable configuration label (display only — never a
         cache key; see :func:`spec_hash`)."""
@@ -92,6 +102,8 @@ class JobSpec:
         for source in (self.overrides, self.core_overrides):
             for name, value in source:
                 label += f"+{name}={value}"
+        if self.sampling:
+            label += "+sampled"
         return label
 
     def canonical(self) -> dict:
@@ -106,6 +118,7 @@ class JobSpec:
             "overrides": [[k, v] for k, v in self.overrides],
             "core_overrides": [[k, v] for k, v in self.core_overrides],
             "verify": self.verify,
+            "sampling": [[k, v] for k, v in self.sampling],
         }
 
     def canonical_json(self) -> str:
@@ -119,7 +132,7 @@ class JobSpec:
     def from_dict(data: Mapping[str, Any]) -> "JobSpec":
         known = {f.name for f in fields(JobSpec)}
         kwargs = {k: v for k, v in data.items() if k in known}
-        for name in ("overrides", "core_overrides"):
+        for name in ("overrides", "core_overrides", "sampling"):
             kwargs[name] = tuple((k, v) for k, v in kwargs.get(name, ()))
         return JobSpec(**kwargs)
 

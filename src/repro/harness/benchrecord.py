@@ -1,0 +1,94 @@
+"""Append-only benchmark trajectory records (``BENCH_sim.json``).
+
+The perf smoke suite used to overwrite ``BENCH_sim.json`` with the last
+run's numbers, so the file never accumulated a trajectory.  This module
+appends one *run record* per pytest session instead::
+
+    {"runs": [{"session": "...", "timestamp": "...", "machine": "...",
+               "python": "3.12.3", "sha": "1a2b3c4", "calibration": 0.06,
+               "jobs": {"fig6_subset": 5.33, "step_loop": 0.06}}, ...]}
+
+Jobs measured within one process share a session token, so they land in
+the same record.  A legacy flat-dict file (the old overwrite format) is
+migrated into a single backdated record on first append.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import time
+from typing import Union
+
+#: One token per process: jobs recorded by the same pytest session
+#: append into the same run record.
+_SESSION_TOKEN = f"{os.getpid():d}-{time.time():.0f}"
+
+
+def machine_id() -> str:
+    """A short host identifier for telling trajectories apart."""
+    return platform.node() or "unknown"
+
+
+def git_sha(root: Union[str, pathlib.Path]) -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root), capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def load_records(path: Union[str, pathlib.Path]) -> dict:
+    """The record file as ``{"runs": [...]}``, migrating the legacy
+    flat ``{job: seconds}`` layout into one synthetic record."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"runs": []}
+    data = json.loads(path.read_text())
+    if "runs" in data:
+        return data
+    jobs = {k: v for k, v in data.items()
+            if not k.endswith("_calibration") and k != "calibration"}
+    calibrations = [v for k, v in data.items() if k.endswith("_calibration")]
+    return {"runs": [{
+        "session": "legacy",
+        "timestamp": None,
+        "machine": "unknown",
+        "python": None,
+        "sha": "unknown",
+        "calibration": calibrations[0] if calibrations else None,
+        "jobs": jobs,
+    }]}
+
+
+def record_job(path: Union[str, pathlib.Path], root: Union[str, pathlib.Path],
+               job: str, seconds: float, calibration: float) -> dict:
+    """Append one job measurement to this session's run record.
+
+    Returns the record the job landed in (mainly for tests)."""
+    path = pathlib.Path(path)
+    data = load_records(path)
+    record = next((r for r in data["runs"]
+                   if r.get("session") == _SESSION_TOKEN), None)
+    if record is None:
+        record = {
+            "session": _SESSION_TOKEN,
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "machine": machine_id(),
+            "python": platform.python_version(),
+            "sha": git_sha(root),
+            "calibration": round(calibration, 4),
+            "jobs": {},
+        }
+        data["runs"].append(record)
+    record["jobs"][job] = round(seconds, 4)
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return record

@@ -119,12 +119,19 @@ class Fig6Result:
 def fig6_specs(scale: int = 1,
                core_counts: Sequence[int] = CORE_COUNTS,
                benchmarks: Optional[Sequence[str]] = None,
-               include_trips: bool = True) -> list[JobSpec]:
-    """Every simulation point of the figure-6 sweep, as job specs."""
+               include_trips: bool = True,
+               sampling: Optional[dict] = None) -> list[JobSpec]:
+    """Every simulation point of the figure-6 sweep, as job specs.
+
+    ``sampling`` applies to the TFlex composition points only; the
+    TRIPS baseline always runs in full detail (it anchors the paper's
+    normalization and is a single fixed configuration anyway).
+    """
     specs = []
     for name in _suite(benchmarks):
         for n in core_counts:
-            specs.append(JobSpec.edge(name, ncores=n, scale=scale))
+            specs.append(JobSpec.edge(name, ncores=n, scale=scale,
+                                      sampling=sampling))
         if include_trips:
             specs.append(JobSpec.edge(name, trips=True, scale=scale))
     return specs
@@ -134,15 +141,17 @@ def fig6_performance(scale: int = 1,
                      core_counts: Sequence[int] = CORE_COUNTS,
                      benchmarks: Optional[Sequence[str]] = None,
                      include_trips: bool = True,
-                     jobs: int = 1, progress: bool = False) -> Fig6Result:
+                     jobs: int = 1, progress: bool = False,
+                     sampling: Optional[dict] = None) -> Fig6Result:
     names = _suite(benchmarks)
-    _fan_out(fig6_specs(scale, core_counts, names, include_trips),
+    _fan_out(fig6_specs(scale, core_counts, names, include_trips, sampling),
              jobs, progress)
     runs: dict[str, dict[str, RunResult]] = {}
     for name in names:
         per_config: dict[str, RunResult] = {}
         for n in core_counts:
-            per_config[f"tflex-{n}"] = run_edge_benchmark(name, ncores=n, scale=scale)
+            per_config[f"tflex-{n}"] = run_edge_benchmark(
+                name, ncores=n, scale=scale, sampling=sampling)
         if include_trips:
             per_config["trips"] = run_edge_benchmark(name, trips=True, scale=scale)
         runs[name] = per_config

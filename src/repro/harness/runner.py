@@ -75,6 +75,9 @@ class RunResult:
     stats: ProcStats
     power: PowerBreakdown
     dram_requests: int
+    #: Sampled-run metadata (window counts, IPC estimate, error bound);
+    #: None for full-detail runs.  See :mod:`repro.sample.engine`.
+    sampling: Optional[dict] = None
 
     @property
     def performance(self) -> float:
@@ -82,7 +85,7 @@ class RunResult:
         return 1.0 / self.cycles if self.cycles else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "bench": self.bench,
             "label": self.label,
             "num_cores": self.num_cores,
@@ -92,6 +95,11 @@ class RunResult:
             "power": self.power.to_dict(),
             "dram_requests": self.dram_requests,
         }
+        # Only sampled runs carry the key, keeping full-detail payloads
+        # (and the golden fixtures built from them) unchanged.
+        if self.sampling is not None:
+            data["sampling"] = self.sampling
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "RunResult":
@@ -101,7 +109,8 @@ class RunResult:
             insts_committed=data["insts_committed"],
             stats=ProcStats.from_dict(data["stats"]),
             power=PowerBreakdown.from_dict(data["power"]),
-            dram_requests=data["dram_requests"])
+            dram_requests=data["dram_requests"],
+            sampling=data.get("sampling"))
 
 
 @dataclass
@@ -191,11 +200,11 @@ def simulate_spec(spec: JobSpec):
     raise ValueError(f"unknown job kind: {spec.kind!r}")
 
 
-def _simulate_edge(spec: JobSpec) -> RunResult:
+def build_edge_config(spec: JobSpec):
+    """Resolve a spec into ``(SystemConfig, ncores)`` — shared by the
+    full-detail path below and the sampled engine (:mod:`repro.sample`)."""
     from dataclasses import replace
 
-    benchmark = BENCHMARKS[spec.bench]
-    program, expected, kernel = benchmark.edge_program(spec.scale)
     if spec.trips:
         cfg = trips_config()
         ncores = cfg.num_cores
@@ -209,6 +218,21 @@ def _simulate_edge(spec: JobSpec) -> RunResult:
                                         **spec.core_overrides_dict()))
     if spec.overrides:
         cfg = replace(cfg, **spec.overrides_dict())
+    return cfg, ncores
+
+
+def _simulate_edge(spec: JobSpec) -> RunResult:
+    # Sampled specs route to the fast-forward engine.  The TRIPS
+    # baseline always runs in full detail: its runs are short and its
+    # centralized structures make sampling gains marginal.
+    if spec.sampling and not spec.trips:
+        from repro.sample import run_sampled
+
+        return run_sampled(spec)
+
+    benchmark = BENCHMARKS[spec.bench]
+    program, expected, kernel = benchmark.edge_program(spec.scale)
+    cfg, ncores = build_edge_config(spec)
 
     system = TFlexSystem(cfg)
     proc = system.compose(rectangle(cfg, ncores), program, name=spec.bench)
@@ -309,19 +333,23 @@ def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
                        scale: int = 1, ideal_handshake: bool = False,
                        overrides: Optional[dict] = None,
                        core_overrides: Optional[dict] = None,
-                       verify: bool = True) -> RunResult:
+                       verify: bool = True,
+                       sampling: Optional[dict] = None) -> RunResult:
     """Run one benchmark on a TFlex composition (or the TRIPS baseline).
 
     Results are cached per resolved job spec (in-process, then the
     persistent store when enabled); architectural output is verified
     against the Python reference unless disabled.
     ``overrides``/``core_overrides`` replace :class:`SystemConfig` /
-    :class:`CoreConfig` fields for ablation studies.
+    :class:`CoreConfig` fields for ablation studies.  ``sampling``
+    (``{"ff_blocks", "window_blocks", "warmup_blocks"}``) switches the
+    point to the sampled engine — cycles become an extrapolated
+    estimate, architectural results stay exact.
     """
     spec = JobSpec.edge(name, ncores=ncores, trips=trips, scale=scale,
                         ideal_handshake=ideal_handshake,
                         overrides=overrides, core_overrides=core_overrides,
-                        verify=verify)
+                        verify=verify, sampling=sampling)
     return run_spec(spec)
 
 

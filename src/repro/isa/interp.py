@@ -15,6 +15,14 @@ The interpreter also enforces the dynamic half of the block contract:
 exactly one branch fires, every declared write and store slot resolves,
 and no slot resolves twice.  Violations raise :class:`InterpError` —
 they indicate compiler or builder bugs.
+
+Repeated blocks execute through a prepared form (:class:`PreparedBlock`,
+the functional analogue of ``tflex/decode.DecodedBlock``): per static
+instruction the dispatch decision, pre-bound evaluator, resolved
+immediates, encoded target list and operand count are computed once and
+cached on the interpreter, so the per-execution dataflow loop touches
+only flat lists and ints.  This is what makes the interpreter usable as
+the fast-forward engine for sampled simulation (``repro.sample``).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from typing import Optional
 
 from repro.isa.block import Block
 from repro.isa.instruction import Instruction, OperandSlot, Target, TargetKind
-from repro.isa.opcodes import OpClass, evaluate, memory_size
+from repro.isa.opcodes import OpClass, bind_evaluator, memory_size
 from repro.isa.program import HALT_ADDR, Program
 from repro.mem.flatmem import FlatMemory
 
@@ -42,6 +50,19 @@ class _NullToken:
 
 NULL_TOKEN = _NullToken()
 
+#: Sentinel for an operand slot no value has been delivered to.  Distinct
+#: from NULL_TOKEN (a real dataflow value) and from None (never used as a
+#: dataflow value, but cheap to confuse with one).
+_MISSING = object()
+
+# Prepared-instruction dispatch codes (plain ints: the execution loop
+# switches on these, and int compares beat enum identity checks).
+_ALU = 0      # any value-producing opcode (INT/TEST/FP/MOVE/...)
+_BRANCH = 1
+_NULL = 2
+_STORE = 3
+_LOAD = 4
+
 
 @dataclass
 class BlockOutcome:
@@ -54,18 +75,117 @@ class BlockOutcome:
     writes: dict[int, object] = field(default_factory=dict)   # reg -> value
     stores: list[tuple[int, int, int, object, bool]] = field(default_factory=list)
     loads: int = 0
+    branch_op: str = ""      # opcode name of the fired exit branch
 
 
 @dataclass
 class InterpResult:
-    """Summary of a program run."""
+    """Summary of a program run.
+
+    ``halted`` is True only when the program reached HALT; a run stopped
+    by the ``max_blocks`` budget instead comes back with ``truncated``
+    set, so callers comparing against the golden model can fail loudly
+    rather than silently diffing a partial execution.
+    """
 
     blocks_executed: int
     insts_fired: int
     loads: int = 0
     stores: int = 0
     halted: bool = False
+    truncated: bool = False
     path: Optional[list[tuple[str, int, int]]] = None   # (label, exit_id, next_addr)
+
+
+class _PInst:
+    """One instruction in prepared form (see :class:`PreparedBlock`)."""
+
+    __slots__ = ("iid", "code", "needs", "pred", "targets", "evalf",
+                 "lsq_id", "older_stores", "mem_size", "fp", "offset",
+                 "exit_id", "branch_addr", "null_store", "op_name")
+
+    def __init__(self, inst: Instruction, program: Program,
+                 store_ids: frozenset) -> None:
+        op = inst.op
+        opclass = op.opclass
+        self.iid = inst.iid
+        self.pred = inst.pred
+        self.needs = op.operands + (1 if inst.pred is not None else 0)
+        self.targets = tuple(_encode_target(t) for t in inst.targets)
+        self.evalf = None
+        self.lsq_id = inst.lsq_id
+        self.older_stores = ()
+        self.mem_size = 0
+        self.fp = False
+        self.offset = 0
+        self.exit_id = inst.exit_id
+        self.branch_addr = None
+        self.null_store = inst.null_store
+        self.op_name = op.name
+
+        if opclass is OpClass.BRANCH:
+            self.code = _BRANCH
+            name = op.name
+            if name == "HALT":
+                self.branch_addr = HALT_ADDR
+            elif name != "RET":           # RET: target arrives as operand 0
+                self.branch_addr = program.address_of(inst.branch_target)
+        elif opclass is OpClass.NULL:
+            self.code = _NULL
+        elif opclass is OpClass.STORE or opclass is OpClass.LOAD:
+            self.code = _STORE if opclass is OpClass.STORE else _LOAD
+            self.mem_size = memory_size(op)
+            self.fp = op.name.endswith("F")
+            self.offset = int(inst.imm or 0)
+            if self.code == _LOAD:
+                self.older_stores = tuple(
+                    s for s in store_ids if s < inst.lsq_id)
+        else:
+            self.code = _ALU
+            self.evalf = bind_evaluator(op, program.resolve_imm(inst.imm))
+
+
+def _encode_target(target: Target) -> int:
+    """Pack a dataflow target into one int for the execution loop.
+
+    Instruction targets encode as ``(iid << 2) | slot`` — an index into
+    the flat operand buffer (OperandSlot is an IntEnum: PRED=0, OP0=1,
+    OP1=2).  Register-write queue slots encode as ``-1 - slot_index``,
+    so the sign distinguishes the two target spaces without a tuple.
+    """
+    if target.kind is TargetKind.WRITE:
+        return -1 - target.index
+    return (target.index << 2) | target.slot
+
+
+class PreparedBlock:
+    """Per-static-block execution structure, built once and reused.
+
+    Analogous to the simulator's ``DecodedBlock``: everything derivable
+    from the static block — dispatch codes, bound evaluators, encoded
+    targets, operand counts, the seed set — is precomputed so the
+    per-execution state is four flat lists and two dicts.
+    """
+
+    __slots__ = ("block", "label", "n", "pinsts", "needs", "seed_ready",
+                 "reads", "writes", "store_ids")
+
+    def __init__(self, block: Block, program: Program) -> None:
+        store_ids = block.store_ids
+        self.block = block
+        self.label = block.label
+        self.n = len(block.insts)
+        self.pinsts = [_PInst(inst, program, store_ids)
+                       for inst in block.insts]
+        self.needs = [pi.needs for pi in self.pinsts]
+        self.seed_ready = tuple(
+            inst.iid for inst in block.insts
+            if inst.num_operands == 0 and inst.pred is None)
+        self.reads = tuple(
+            (read.reg, tuple(_encode_target(t) for t in read.targets))
+            for read in block.reads)
+        self.writes = tuple((w.index, w.reg) for w in block.writes)
+        self.store_ids = store_ids
 
 
 class Interpreter:
@@ -81,33 +201,42 @@ class Interpreter:
         self.regs: list = [0] * 128
         for reg, value in program.reg_init.items():
             self.regs[reg] = value
+        self._prepared: dict[str, PreparedBlock] = {}
 
     # ------------------------------------------------------------------
     # Whole-program execution
     # ------------------------------------------------------------------
 
     def run(self, max_blocks: int = 1_000_000, record_path: bool = False) -> InterpResult:
-        """Execute from the entry block until HALT or the block budget."""
+        """Execute from the entry block until HALT or the block budget.
+
+        Exhausting ``max_blocks`` does not raise: the returned result has
+        ``truncated=True`` (and ``halted=False``) so differential and
+        oracle harnesses can reject the partial run explicitly.
+        """
         result = InterpResult(blocks_executed=0, insts_fired=0,
                               path=[] if record_path else None)
         addr = self.program.address_of(self.program.entry)
         while addr != HALT_ADDR:
             if result.blocks_executed >= max_blocks:
-                raise InterpError(f"block budget exhausted ({max_blocks})")
+                result.truncated = True
+                return result
             block = self.program.block_at(addr)
             outcome = self.execute_block(block)
-            self._commit(outcome)
+            self.commit(outcome)
             result.blocks_executed += 1
             result.insts_fired += outcome.insts_fired
             result.loads += outcome.loads
-            result.stores += sum(1 for s in outcome.stores)
+            result.stores += len(outcome.stores)
             if result.path is not None:
                 result.path.append((block.label, outcome.exit_id, outcome.next_addr))
             addr = outcome.next_addr
         result.halted = True
         return result
 
-    def _commit(self, outcome: BlockOutcome) -> None:
+    def commit(self, outcome: BlockOutcome) -> None:
+        """Apply one block's architectural effects (writes, then stores
+        in LSQ order) — the functional analogue of the commit phase."""
         for reg, value in outcome.writes.items():
             self.regs[reg] = value
         for __lsq_id, addr, size, value, fp in outcome.stores:
@@ -117,6 +246,15 @@ class Interpreter:
     # Single-block dataflow execution
     # ------------------------------------------------------------------
 
+    def prepare(self, block: Block) -> PreparedBlock:
+        """The cached prepared form of ``block`` (built on first use)."""
+        pb = self._prepared.get(block.label)
+        if pb is not None and pb.block is block:
+            return pb
+        pb = PreparedBlock(block, self.program)
+        self._prepared[block.label] = pb
+        return pb
+
     def execute_block(self, block: Block) -> BlockOutcome:
         """Run one block to completion against current architectural state.
 
@@ -124,156 +262,190 @@ class Interpreter:
         returned outcome (mirroring the microarchitecture, where commit
         is a separate protocol phase).
         """
-        insts = block.insts
-        n = len(insts)
-        operands: list[dict[OperandSlot, object]] = [dict() for __ in range(n)]
-        fired = [False] * n
-        squashed = [False] * n
+        pb = self.prepare(block)
+        pinsts = pb.pinsts
+        label = pb.label
+        regs = self.regs
 
-        store_slots = block.store_ids
-        resolved_slots: set[int] = set()
+        # Per-execution state: a flat operand buffer (4 slots per
+        # instruction, indexed by the encoded target), outstanding
+        # delivery counts, and fired/squashed bitmaps.
+        buf = [_MISSING] * (pb.n << 2)
+        remaining = pb.needs.copy()
+        fired = bytearray(pb.n)
+        squashed = bytearray(pb.n)
+
+        resolved: set[int] = set()
         # In-block store data for load forwarding: lsq_id -> (addr, size, value, fp)
         block_stores: dict[int, tuple[int, int, object, bool]] = {}
         write_values: dict[int, object] = {}
-        branch_fired: Optional[Instruction] = None
+        branch_inst: Optional[_PInst] = None
         next_addr: Optional[int] = None
-        counters = {"fired": 0, "loads": 0}
-
+        fired_count = 0
+        load_count = 0
         waiting_loads: list[int] = []
         ready: list[int] = []
 
-        def deliver(target: Target, value: object) -> None:
-            if target.kind is TargetKind.WRITE:
-                if target.index in write_values:
-                    raise InterpError(
-                        f"{block.label}: write slot {target.index} produced twice")
-                write_values[target.index] = value
-                return
-            slot_map = operands[target.index]
-            if target.slot in slot_map:
-                raise InterpError(
-                    f"{block.label}: I{target.index} operand {target.slot.name} delivered twice")
-            slot_map[target.slot] = value
-            consider(target.index)
-
-        def consider(iid: int) -> None:
-            if fired[iid] or squashed[iid]:
-                return
-            inst = insts[iid]
-            slot_map = operands[iid]
-            if inst.pred is not None:
-                pred_value = slot_map.get(OperandSlot.PRED)
-                if pred_value is None:
-                    return
-                if bool(pred_value) != inst.pred:
-                    squashed[iid] = True
-                    return
-            for slot_no in range(inst.num_operands):
-                slot = OperandSlot.OP0 if slot_no == 0 else OperandSlot.OP1
-                if slot not in slot_map:
-                    return
-            if inst.is_load:
-                waiting_loads.append(iid)
-                try_loads()
-            else:
-                ready.append(iid)
-
-        def older_stores_resolved(lsq_id: int) -> bool:
-            return all(s in resolved_slots for s in store_slots if s < lsq_id)
-
-        def try_loads() -> None:
-            still = []
-            for iid in waiting_loads:
-                if fired[iid]:
+        # Seed: deliver architectural register reads (the inline block
+        # below is the same delivery logic as in the fire loop).
+        for reg, targets in pb.reads:
+            value = regs[reg]
+            for enc in targets:
+                if enc < 0:
+                    windex = -1 - enc
+                    if windex in write_values:
+                        raise InterpError(
+                            f"{label}: write slot {windex} produced twice")
+                    write_values[windex] = value
                     continue
-                if older_stores_resolved(insts[iid].lsq_id):
-                    ready.append(iid)
-                else:
-                    still.append(iid)
-            waiting_loads[:] = still
-
-        def fire(iid: int) -> None:
-            nonlocal branch_fired, next_addr
-            inst = insts[iid]
-            fired[iid] = True
-            counters["fired"] += 1
-            slot_map = operands[iid]
-            ops = tuple(
-                slot_map[OperandSlot.OP0 if i == 0 else OperandSlot.OP1]
-                for i in range(inst.num_operands)
-            )
-            opclass = inst.op.opclass
-
-            if opclass is OpClass.BRANCH:
-                if branch_fired is not None:
+                if buf[enc] is not _MISSING:
                     raise InterpError(
-                        f"{block.label}: second branch I{iid} fired (first was I{branch_fired.iid})")
-                branch_fired = inst
-                next_addr = self._branch_target(block, inst, ops)
-                return
-
-            if opclass is OpClass.NULL:
-                if inst.null_store:
-                    resolve_store(inst.lsq_id)
-                for target in inst.targets:
-                    deliver(target, NULL_TOKEN)
-                return
-
-            if opclass is OpClass.STORE:
-                addr = int(ops[0]) + int(inst.imm or 0)
-                size = memory_size(inst.op)
-                fp = inst.op.name.endswith("F")
-                block_stores[inst.lsq_id] = (addr, size, ops[1], fp)
-                resolve_store(inst.lsq_id)
-                return
-
-            if opclass is OpClass.LOAD:
-                addr = int(ops[0]) + int(inst.imm or 0)
-                size = memory_size(inst.op)
-                fp = inst.op.name.endswith("F")
-                value = self._load_with_forwarding(
-                    block, inst.lsq_id, block_stores, addr, size, fp)
-                counters["loads"] += 1
-                for target in inst.targets:
-                    deliver(target, value)
-                return
-
-            imm = self.program.resolve_imm(inst.imm)
-            value = evaluate(inst.op, ops, imm)
-            for target in inst.targets:
-                deliver(target, value)
-
-        def resolve_store(lsq_id: int) -> None:
-            if lsq_id in resolved_slots:
-                raise InterpError(f"{block.label}: LSQ slot {lsq_id} resolved twice")
-            resolved_slots.add(lsq_id)
-            try_loads()
-
-        # Seed: register reads and operand-free instructions.
-        for read in block.reads:
-            for target in read.targets:
-                deliver(target, self.regs[read.reg])
-        for inst in insts:
-            if inst.num_operands == 0 and inst.pred is None:
-                ready.append(inst.iid)
+                        f"{label}: I{enc >> 2} operand "
+                        f"{OperandSlot(enc & 3).name} delivered twice")
+                buf[enc] = value
+                tid = enc >> 2
+                rem = remaining[tid] - 1
+                remaining[tid] = rem
+                if fired[tid] or squashed[tid]:
+                    continue
+                ti = pinsts[tid]
+                tpred = ti.pred
+                if tpred is not None:
+                    pv = buf[tid << 2]
+                    if pv is _MISSING:
+                        continue
+                    if bool(pv) != tpred:
+                        squashed[tid] = 1
+                        continue
+                if rem:
+                    continue
+                if ti.code == _LOAD:
+                    older = ti.older_stores
+                    if not older or all(s in resolved for s in older):
+                        ready.append(tid)
+                    else:
+                        waiting_loads.append(tid)
+                else:
+                    ready.append(tid)
+        # Seed: operand-free unpredicated instructions.
+        ready.extend(pb.seed_ready)
 
         while ready:
             iid = ready.pop()
-            if not fired[iid]:
-                fire(iid)
+            if fired[iid]:
+                continue
+            fired[iid] = 1
+            fired_count += 1
+            pi = pinsts[iid]
+            code = pi.code
+            base = iid << 2
 
-        return self._check_outcome(block, branch_fired, next_addr, write_values,
-                                   block_stores, resolved_slots, counters)
+            if code == _ALU:
+                value = pi.evalf(buf[base + 1], buf[base + 2])
+                targets = pi.targets
+            elif code == _BRANCH:
+                if branch_inst is not None:
+                    raise InterpError(
+                        f"{label}: second branch I{iid} fired "
+                        f"(first was I{branch_inst.iid})")
+                branch_inst = pi
+                next_addr = pi.branch_addr
+                if next_addr is None:               # RET
+                    next_addr = int(buf[base + 1])
+                continue
+            elif code == _STORE:
+                lsq_id = pi.lsq_id
+                block_stores[lsq_id] = (int(buf[base + 1]) + pi.offset,
+                                        pi.mem_size, buf[base + 2], pi.fp)
+                if lsq_id in resolved:
+                    raise InterpError(
+                        f"{label}: LSQ slot {lsq_id} resolved twice")
+                resolved.add(lsq_id)
+                if waiting_loads:
+                    still = []
+                    for lid in waiting_loads:
+                        if fired[lid]:
+                            continue
+                        if all(s in resolved
+                               for s in pinsts[lid].older_stores):
+                            ready.append(lid)
+                        else:
+                            still.append(lid)
+                    waiting_loads = still
+                continue
+            elif code == _LOAD:
+                value = self._load_with_forwarding(
+                    label, pi.lsq_id, block_stores,
+                    int(buf[base + 1]) + pi.offset, pi.mem_size, pi.fp)
+                load_count += 1
+                targets = pi.targets
+            else:                                   # _NULL
+                if pi.null_store:
+                    lsq_id = pi.lsq_id
+                    if lsq_id in resolved:
+                        raise InterpError(
+                            f"{label}: LSQ slot {lsq_id} resolved twice")
+                    resolved.add(lsq_id)
+                    if waiting_loads:
+                        still = []
+                        for lid in waiting_loads:
+                            if fired[lid]:
+                                continue
+                            if all(s in resolved
+                                   for s in pinsts[lid].older_stores):
+                                ready.append(lid)
+                            else:
+                                still.append(lid)
+                        waiting_loads = still
+                value = NULL_TOKEN
+                targets = pi.targets
 
-    def _branch_target(self, block: Block, inst: Instruction, ops: tuple) -> int:
-        name = inst.op.name
-        if name == "HALT":
-            return HALT_ADDR
-        if name == "RET":
-            return int(ops[0])
-        return self.program.address_of(inst.branch_target)
+            # Deliver the produced value to every target (kept inline:
+            # this loop runs ~1.5x per fired instruction and dominated
+            # the old closure-per-block implementation's profile).
+            for enc in targets:
+                if enc < 0:
+                    windex = -1 - enc
+                    if windex in write_values:
+                        raise InterpError(
+                            f"{label}: write slot {windex} produced twice")
+                    write_values[windex] = value
+                    continue
+                if buf[enc] is not _MISSING:
+                    raise InterpError(
+                        f"{label}: I{enc >> 2} operand "
+                        f"{OperandSlot(enc & 3).name} delivered twice")
+                buf[enc] = value
+                tid = enc >> 2
+                rem = remaining[tid] - 1
+                remaining[tid] = rem
+                if fired[tid] or squashed[tid]:
+                    continue
+                ti = pinsts[tid]
+                tpred = ti.pred
+                if tpred is not None:
+                    pv = buf[tid << 2]
+                    if pv is _MISSING:
+                        continue
+                    if bool(pv) != tpred:
+                        squashed[tid] = 1
+                        continue
+                if rem:
+                    continue
+                if ti.code == _LOAD:
+                    older = ti.older_stores
+                    if not older or all(s in resolved for s in older):
+                        ready.append(tid)
+                    else:
+                        waiting_loads.append(tid)
+                else:
+                    ready.append(tid)
 
-    def _load_with_forwarding(self, block: Block, lsq_id: int,
+        return self._check_outcome(pb, branch_inst, next_addr, write_values,
+                                   block_stores, resolved, fired_count,
+                                   load_count)
+
+    def _load_with_forwarding(self, label: str, lsq_id: int,
                               block_stores: dict, addr: int, size: int, fp: bool):
         best = None
         for sid, (saddr, ssize, svalue, sfp) in block_stores.items():
@@ -284,42 +456,45 @@ class Interpreter:
                     best = (sid, svalue, sfp)
             elif saddr < addr + size and addr < saddr + ssize:
                 raise InterpError(
-                    f"{block.label}: load lsq {lsq_id} partially overlaps store lsq {sid} "
+                    f"{label}: load lsq {lsq_id} partially overlaps store lsq {sid} "
                     f"({addr:#x}/{size} vs {saddr:#x}/{ssize})")
         if best is not None:
             __, svalue, sfp = best
             if sfp != fp:
                 raise InterpError(
-                    f"{block.label}: load lsq {lsq_id} forwards across int/fp type change")
+                    f"{label}: load lsq {lsq_id} forwards across int/fp type change")
             return svalue
         return self.mem.load(addr, size, fp=fp)
 
-    def _check_outcome(self, block: Block, branch_fired, next_addr, write_values,
-                       block_stores, resolved_slots, counters) -> BlockOutcome:
-        if branch_fired is None:
-            raise InterpError(f"{block.label}: dataflow quiesced without a branch firing")
-        missing_writes = [w.index for w in block.writes if w.index not in write_values]
+    def _check_outcome(self, pb: PreparedBlock, branch_inst, next_addr,
+                       write_values, block_stores, resolved,
+                       fired_count, load_count) -> BlockOutcome:
+        label = pb.label
+        if branch_inst is None:
+            raise InterpError(f"{label}: dataflow quiesced without a branch firing")
+        missing_writes = [w for w, __ in pb.writes if w not in write_values]
         if missing_writes:
-            raise InterpError(f"{block.label}: write slots {missing_writes} never resolved")
-        missing_stores = sorted(block.store_ids - resolved_slots)
+            raise InterpError(f"{label}: write slots {missing_writes} never resolved")
+        missing_stores = sorted(pb.store_ids - resolved)
         if missing_stores:
-            raise InterpError(f"{block.label}: store slots {missing_stores} never resolved")
+            raise InterpError(f"{label}: store slots {missing_stores} never resolved")
 
         writes = {}
-        for wslot in block.writes:
-            value = write_values[wslot.index]
+        for windex, reg in pb.writes:
+            value = write_values[windex]
             if value is not NULL_TOKEN:
-                writes[wslot.reg] = value
+                writes[reg] = value
         stores = [
             (lsq_id, addr, size, value, fp)
             for lsq_id, (addr, size, value, fp) in sorted(block_stores.items())
         ]
         return BlockOutcome(
-            label=block.label,
-            exit_id=branch_fired.exit_id,
+            label=label,
+            exit_id=branch_inst.exit_id,
             next_addr=next_addr,
-            insts_fired=counters["fired"],
+            insts_fired=fired_count,
             writes=writes,
             stores=stores,
-            loads=counters["loads"],
+            loads=load_count,
+            branch_op=branch_inst.op_name,
         )

@@ -219,6 +219,59 @@ _FP_UNARY = {
 }
 
 
+def bind_evaluator(op: OpSpec, imm=None):
+    """Pre-bind :func:`evaluate` for one opcode + resolved immediate.
+
+    Returns a closure ``f(a, b)`` taking the (up to two) operand values
+    positionally and computing exactly what ``evaluate(op, ops, imm)``
+    would — the dispatch, immediate resolution and int-coercion decisions
+    are made once, at bind time, instead of on every dynamic execution.
+    Unused operand positions may be passed any value (they are ignored).
+
+    The interpreter's prepared-block cache binds one evaluator per static
+    instruction; ``tests/isa/test_opcodes.py`` cross-checks the pair.
+    """
+    name = op.name
+    if op.has_imm and name != "MOVI":
+        base = name[:-1]
+        if base in _INT_FUNCS:
+            func, const = _INT_FUNCS[base], int(imm)
+            return lambda a, b: func(int(a), const)
+        if base in _TEST_FUNCS:
+            func, const = _TEST_FUNCS[base], int(imm)
+            return lambda a, b: func(int(a), const)
+    if name in _INT_FUNCS:
+        func = _INT_FUNCS[name]
+        return lambda a, b: func(int(a), int(b))
+    if name in _TEST_FUNCS:
+        func = _TEST_FUNCS[name]
+        if name.startswith("F"):
+            return func
+        return lambda a, b: func(int(a), int(b))
+    if name in _FP_FUNCS:
+        return _FP_FUNCS[name]
+    if name in _FP_UNARY:
+        func = _FP_UNARY[name]
+        return lambda a, b: func(a)
+    if name == "FTOI":
+        def ftoi(a, b):
+            value = float(a)
+            if math.isnan(value):
+                return 0
+            return wrap64(int(value))
+        return ftoi
+    if name == "NOT":
+        return lambda a, b: wrap64(~int(a))
+    if name == "NEG":
+        return lambda a, b: wrap64(-int(a))
+    if name == "MOV":
+        return lambda a, b: a
+    if name == "MOVI":
+        const = imm
+        return lambda a, b: const
+    raise ValueError(f"bind_evaluator() does not implement opcode {name}")
+
+
 def evaluate(op: OpSpec, operands: tuple, imm=None):
     """Execute one opcode on resolved operand values.
 

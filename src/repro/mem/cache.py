@@ -167,3 +167,39 @@ class CacheBank:
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    def iter_lines(self):
+        """Iterate all resident lines (set order, LRU-first within a set)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    # ------------------------------------------------------------------
+    # State transfer (sampled-simulation warm-up injection, checkpoints)
+    # ------------------------------------------------------------------
+
+    def export_lines(self) -> list:
+        """JSON-safe snapshot of the resident lines, one list per set in
+        LRU-first order (so a round trip preserves eviction order)."""
+        return [[[line.ctx, line.line_addr, line.state.value]
+                 for line in cache_set.values()]
+                for cache_set in self._sets]
+
+    def import_lines(self, sets: list) -> None:
+        """Replace resident state with an :meth:`export_lines` snapshot.
+
+        The snapshot must come from a bank of the same geometry (set
+        count is checked; lines land in their stored set, keeping the
+        set hash consistent).  Stats are untouched — this transfers warm
+        state, not history.
+        """
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"bank has {self.num_sets}")
+        self._sets = [
+            OrderedDict(((ctx, line_addr),
+                         Line(ctx=ctx, line_addr=line_addr,
+                              state=LineState(state)))
+                        for ctx, line_addr, state in entries)
+            for entries in sets
+        ]

@@ -97,3 +97,13 @@ class PredictorBank:
         self.exits.repair(prediction.checkpoint.exit_prediction, actual_exit)
         if prediction.checkpoint.ras_checkpoint is not None:
             ras.restore(prediction.checkpoint.ras_checkpoint)
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of both table sets (stats excluded)."""
+        return {"exits": self.exits.state_dict(),
+                "targets": self.targets.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Replace all table contents with a :meth:`state_dict` snapshot."""
+        self.exits.load_state(state["exits"])
+        self.targets.load_state(state["targets"])

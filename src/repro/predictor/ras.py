@@ -101,3 +101,19 @@ class DistributedRas:
         self._top = checkpoint.top
         if checkpoint.overwritten_slot is not None:
             self._stack[checkpoint.overwritten_slot] = checkpoint.overwritten_value
+
+    # ------------------------------------------------------------------
+    # State transfer (sampled-simulation warm-up injection, checkpoints)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the stack contents (stats excluded)."""
+        return {"stack": list(self._stack), "top": self._top}
+
+    def load_state(self, state: dict) -> None:
+        """Replace stack contents with a :meth:`state_dict` snapshot
+        (the capacity must match)."""
+        if len(state["stack"]) != self.capacity:
+            raise ValueError("RAS snapshot capacity mismatch")
+        self._stack = list(state["stack"])
+        self._top = int(state["top"])

@@ -130,3 +130,26 @@ class TargetPredictor:
         elif kind is BranchKind.CALL:
             entry = self._ctb[self._ctb_index(block_num, exit_id)]
             entry.key, entry.target = key, actual_target
+
+    # ------------------------------------------------------------------
+    # State transfer (sampled-simulation warm-up injection, checkpoints)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the table contents (stats excluded)."""
+        return {
+            "btype": [kind.value for kind in self._btype],
+            "btb": [[e.key, e.target] for e in self._btb],
+            "ctb": [[e.key, e.target] for e in self._ctb],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace table contents with a :meth:`state_dict` snapshot
+        (the geometries must match)."""
+        if len(state["btype"]) != len(self._btype) \
+                or len(state["btb"]) != len(self._btb) \
+                or len(state["ctb"]) != len(self._ctb):
+            raise ValueError("target-predictor snapshot geometry mismatch")
+        self._btype = [BranchKind(v) for v in state["btype"]]
+        self._btb = [_TaggedTarget(k, t) for k, t in state["btb"]]
+        self._ctb = [_TaggedTarget(k, t) for k, t in state["ctb"]]

@@ -1,0 +1,24 @@
+"""Sampled simulation engine (interpreter fast-forward + detailed windows).
+
+See :mod:`repro.sample.engine` for the design.  The public surface:
+
+* :class:`SamplingConfig` — the window/fast-forward rhythm;
+* :class:`SampledRun` — stepwise driver with checkpoint/resume;
+* :func:`run_sampled` — one job spec to one extrapolated RunResult;
+* :class:`Checkpoint` — JSON-safe resumable snapshot;
+* :class:`ShadowUarch` — the warm structures driven during fast-forward.
+"""
+
+from repro.sample.checkpoint import Checkpoint
+from repro.sample.config import SamplingConfig
+from repro.sample.engine import SampledRun, run_sampled
+from repro.sample.shadow import RecordingMemory, ShadowUarch
+
+__all__ = [
+    "Checkpoint",
+    "RecordingMemory",
+    "SampledRun",
+    "SamplingConfig",
+    "ShadowUarch",
+    "run_sampled",
+]

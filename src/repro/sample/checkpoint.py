@@ -1,0 +1,82 @@
+"""Checkpoints of a sampled run's fast-forward state.
+
+A checkpoint captures everything the engine needs to resume a sampled
+run at a block boundary: the functional architectural state (registers,
+memory, resume address, exit history), the shadow microarchitecture,
+the functional progress counters, and the windows measured so far.  It
+is JSON-safe end to end, so sweeps can park warm-up work on disk and
+resume deterministically — resuming from a checkpoint produces the
+exact RunResult the uninterrupted run would have.
+
+The embedded canonical job spec guards against resuming under a
+different configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Union
+
+#: Bump when the checkpoint layout changes; old files then fail loudly.
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class Checkpoint:
+    """One resumable snapshot of a :class:`~repro.sample.SampledRun`."""
+
+    spec: dict                       # JobSpec.canonical() of the run
+    sampling: dict                   # SamplingConfig.to_dict()
+    addr: int                        # next block to execute
+    ghist: int                       # global exit history at addr
+    blocks: int                      # functional progress so far
+    insts: int
+    loads: int
+    stores: int
+    finished: bool
+    regs: list
+    memory: dict                     # FlatMemory.snapshot()
+    shadow: dict                     # ShadowUarch.state_dict()
+    windows: list = field(default_factory=list)
+    dependence: list = field(default_factory=list)  # [label, lsq_id] pairs
+    schema: int = CHECKPOINT_SCHEMA
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "spec": self.spec,
+            "sampling": self.sampling,
+            "addr": self.addr,
+            "ghist": self.ghist,
+            "blocks": self.blocks,
+            "insts": self.insts,
+            "loads": self.loads,
+            "stores": self.stores,
+            "finished": self.finished,
+            "regs": self.regs,
+            "memory": self.memory,
+            "shadow": self.shadow,
+            "windows": self.windows,
+            "dependence": self.dependence,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Checkpoint":
+        schema = data.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint schema {schema!r} != {CHECKPOINT_SCHEMA}")
+        return Checkpoint(**{k: data[k] for k in (
+            "spec", "sampling", "addr", "ghist", "blocks", "insts", "loads",
+            "stores", "finished", "regs", "memory", "shadow", "windows",
+            "dependence")})
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_dict()))
+
+    @staticmethod
+    def load(path: Union[str, pathlib.Path]) -> "Checkpoint":
+        return Checkpoint.from_dict(
+            json.loads(pathlib.Path(path).read_text()))

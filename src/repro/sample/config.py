@@ -1,0 +1,53 @@
+"""Sampling configuration: the shape of a sampled run.
+
+A sampled run alternates *detailed windows* (the cycle-level simulator,
+measuring IPC) with *fast-forward intervals* (the golden-model
+interpreter executing blocks functionally while warming lightweight
+shadow models of the predictor and cache hierarchy).  One
+:class:`SamplingConfig` fixes that rhythm; it participates in the job
+spec's content hash, so two runs that sample differently never share a
+cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Block-count parameters of one sampled run.
+
+    Every window commits ``warmup_blocks`` blocks to re-steady the
+    pipeline after injection (excluded from measurement), then
+    ``window_blocks`` measured blocks; between windows the interpreter
+    fast-forwards ``ff_blocks`` blocks.  The first window starts at the
+    program entry, so a program shorter than one window degenerates to
+    an exact detailed run.
+    """
+
+    ff_blocks: int = 448
+    window_blocks: int = 40
+    warmup_blocks: int = 8
+
+    def validate(self) -> None:
+        if self.ff_blocks < 1:
+            raise ValueError("ff_blocks must be >= 1")
+        if self.window_blocks < 1:
+            raise ValueError("window_blocks must be >= 1")
+        if self.warmup_blocks < 0:
+            raise ValueError("warmup_blocks must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"ff_blocks": self.ff_blocks,
+                "window_blocks": self.window_blocks,
+                "warmup_blocks": self.warmup_blocks}
+
+    @staticmethod
+    def from_dict(data: Optional[Mapping[str, Any]]) -> Optional["SamplingConfig"]:
+        if not data:
+            return None
+        cfg = SamplingConfig(**{k: int(v) for k, v in dict(data).items()})
+        cfg.validate()
+        return cfg

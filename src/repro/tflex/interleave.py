@@ -1,0 +1,53 @@
+"""Pure interleaving hash functions of paper section 4.
+
+These map architectural identifiers onto composition resources:
+
+* block starting address -> owner core (prediction, fetch/commit
+  control);
+* data address -> D-cache/LSQ bank (XOR-folded line address);
+* register number -> register-file bank;
+* bank index -> participating-core index hosting it.
+
+They are pure functions of the address and the composition geometry, so
+both the cycle simulator (:class:`repro.tflex.processor.ComposedProcessor`)
+and the sampled-simulation shadow models (:mod:`repro.sample.shadow`)
+compute them from this one definition — a warmed shadow structure is
+guaranteed to land in the same bank the detailed window will consult.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import BLOCK_STRIDE
+
+
+def owner_index_of(addr: int, ncores: int, centralized: bool = False) -> int:
+    """Owner core (participating index) of a block address."""
+    if centralized:
+        return 0
+    return (addr // BLOCK_STRIDE) % ncores
+
+
+def dbank_of(addr: int, line_size: int, num_dbanks: int) -> int:
+    """D-cache/LSQ bank for a data address: XOR-folded line address
+    modulo the bank count (paper section 4.5)."""
+    line = addr // line_size
+    return (line ^ (line >> 5) ^ (line >> 10)) % num_dbanks
+
+
+def num_dbanks_of(ncores: int, dcache_banks) -> int:
+    """Resolved D-cache bank count (config may pin it below ncores)."""
+    return min(ncores, dcache_banks or ncores)
+
+def num_rf_banks_of(ncores: int, regfile_banks) -> int:
+    """Resolved register-file bank count."""
+    return min(ncores, regfile_banks or ncores)
+
+
+def rf_bank_of(reg: int, num_rf_banks: int) -> int:
+    return reg % num_rf_banks
+
+
+def dbank_core_index(bank: int, ncores: int, num_dbanks: int) -> int:
+    """Participating-core index hosting D-cache bank ``bank`` (banks
+    spread down one edge of the composition)."""
+    return bank * max(1, ncores // num_dbanks)

@@ -23,9 +23,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.isa.block import NUM_REGS
-from repro.isa.program import BLOCK_STRIDE, Program
+from repro.isa.program import Program
 from repro.mem.flatmem import FlatMemory
 from repro.predictor import DistributedRas, PredictorBank
+from repro.tflex import interleave
 from repro.tflex.datapath import DatapathMixin
 from repro.tflex.decode import DecodedBlock
 from repro.tflex.instance import BlockInstance
@@ -83,8 +84,10 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
 
         # Banked structures (bank counts may be overridden — the TRIPS
         # baseline centralizes them on a subset of cores).
-        self.num_rf_banks = min(self.ncores, self.cfg.regfile_banks or self.ncores)
-        self.num_dbanks = min(self.ncores, self.cfg.dcache_banks or self.ncores)
+        self.num_rf_banks = interleave.num_rf_banks_of(
+            self.ncores, self.cfg.regfile_banks)
+        self.num_dbanks = interleave.num_dbanks_of(
+            self.ncores, self.cfg.dcache_banks)
         self.rf_banks = [RegfileBank(self.regs, name=f"{self.name}.rf{i}")
                          for i in range(self.num_rf_banks)]
         ras_cores = 1 if self.cfg.centralized_predictor else self.ncores
@@ -114,8 +117,21 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         else:
             self.store_sets = None
         self.halted = False
+        self.started = False
         self._last_dealloc = system.queue.now
         self._occupancy_mark = system.queue.now
+
+        # Detailed-window controls for sampled simulation (repro.sample):
+        # ``commit_limit`` halts the processor after that many committed
+        # blocks; ``measure_after`` snapshots (cycle, insts_committed) at
+        # the end of the warm-up prefix.  The commit protocol always
+        # tracks the last committed block's successor so a fast-forward
+        # engine can resume functionally where the window stopped.
+        self.commit_limit: Optional[int] = None
+        self.measure_after: Optional[int] = None
+        self.measure_mark: Optional[tuple[int, int]] = None
+        self.last_commit_next: Optional[int] = None
+        self.last_commit_ghist = 0
 
         self.stats = ProcStats()
         #: Cycle at which this processor was composed; stats.cycles is
@@ -141,9 +157,10 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         #: are pure functions of the composition).
         self._rf_bank_core_ids = [self.core_of_index(b)
                                   for b in range(self.num_rf_banks)]
-        dstride = max(1, self.ncores // self.num_dbanks)
-        self._dbank_core_ids = [self.core_of_index(b * dstride)
-                                for b in range(self.num_dbanks)]
+        self._dbank_core_ids = [
+            self.core_of_index(
+                interleave.dbank_core_index(b, self.ncores, self.num_dbanks))
+            for b in range(self.num_dbanks)]
         #: Participating-core index -> bank indices resident there (the
         #: commit protocol's drain lookup, inverted once).
         part_of = {cid: i for i, cid in enumerate(self.core_ids)}
@@ -167,9 +184,8 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
 
     def owner_index_of(self, addr: int) -> int:
         """Owner core (participating index) of a block address."""
-        if self.cfg.centralized_predictor:
-            return 0
-        return (addr // BLOCK_STRIDE) % self.ncores
+        return interleave.owner_index_of(addr, self.ncores,
+                                         self.cfg.centralized_predictor)
 
     def predictor_bank(self, owner_index: int) -> PredictorBank:
         """The physical predictor bank used for a block's prediction."""
@@ -178,7 +194,7 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         return self.system.cores[self.core_of_index(owner_index)].predictor
 
     def rf_bank_of(self, reg: int) -> int:
-        return reg % self.num_rf_banks
+        return interleave.rf_bank_of(reg, self.num_rf_banks)
 
     def rf_bank_core(self, bank_index: int) -> int:
         """Register banks sit on the first cores of the composition
@@ -188,8 +204,7 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
     def dbank_of(self, addr: int) -> int:
         """D-cache/LSQ bank for a data address: XOR-folded line address
         modulo the bank count (paper section 4.5)."""
-        line = addr // self.cfg.line_size
-        return (line ^ (line >> 5) ^ (line >> 10)) % self.num_dbanks
+        return interleave.dbank_of(addr, self.cfg.line_size, self.num_dbanks)
 
     def dbank_core(self, bank_index: int) -> int:
         """D-cache banks spread down one edge of the composition (the

@@ -39,10 +39,15 @@ class ProtocolMixin:
     # Fetch chain
     # ------------------------------------------------------------------
 
-    def start(self) -> None:
-        """Begin fetching at the program's entry block."""
-        entry = self.program.address_of(self.program.entry)
-        self._schedule_fetch(entry, ghist=0, when=self.queue.now, handoff_lat=0)
+    def start(self, addr: Optional[int] = None, ghist: int = 0) -> None:
+        """Begin fetching — at the program's entry block by default, or
+        at an injected ``(addr, ghist)`` resume point (sampled
+        simulation restarts a detailed window mid-program)."""
+        if addr is None:
+            addr = self.program.address_of(self.program.entry)
+        self.started = True
+        self._schedule_fetch(addr, ghist=ghist, when=self.queue.now,
+                             handoff_lat=0)
 
     def _schedule_fetch(self, addr: int, ghist: int, when: int,
                         handoff_lat: int) -> None:
@@ -499,6 +504,15 @@ class ProtocolMixin:
         self.stats.fetch_latency.record(**instance.fetch_parts)
         self.stats.commit_latency.record(**instance.commit_parts)
 
+        # Resume point for a fast-forward engine: the committed path's
+        # next block and the architectural global history after it.
+        self.last_commit_next = instance.actual_next
+        self.last_commit_ghist = push_history(
+            instance.ghist_before, instance.actual_exit, GLOBAL_HISTORY_EXITS)
+        if self.measure_after is not None \
+                and self.stats.blocks_committed == self.measure_after:
+            self.measure_mark = (self.queue.now, self.stats.insts_committed)
+
         # ``enable_block_trace`` consumes this from a private bus fork;
         # ``--trace-out`` sinks see it globally.
         obs = self.obs
@@ -516,6 +530,13 @@ class ProtocolMixin:
         self._wake_deferred_loads()
 
         if instance.actual_next == HALT_ADDR:
+            self._halt()
+            return
+        if self.commit_limit is not None \
+                and self.stats.blocks_committed >= self.commit_limit:
+            # End of a detailed sampling window: stop cleanly (the halt
+            # flush repairs all speculative predictor/RAS state, so the
+            # structures exported afterwards are architecturally clean).
             self._halt()
             return
 

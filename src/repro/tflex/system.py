@@ -124,7 +124,7 @@ class TFlexSystem:
         forward progress stops, with a per-processor state dump.
         """
         for proc in self.procs:
-            if not proc.halted and proc.next_gseq == 0:
+            if not proc.halted and not proc.started:
                 proc.start()
 
         # Event-driven completion: processors report halts through

@@ -291,7 +291,8 @@ def random_kernel(draw):
 def test_backends_agree_on_random_kernels(kernel):
     edge_program = compile_edge(kernel)
     edge_interp = Interpreter(edge_program)
-    edge_interp.run(max_blocks=10_000)
+    edge_result = edge_interp.run(max_blocks=10_000)
+    assert edge_result.halted and not edge_result.truncated
 
     risc_program = compile_risc(kernel)
     risc_interp = RiscInterpreter(risc_program)

@@ -36,13 +36,21 @@ def test_insts_fired_counted():
     assert result.blocks_executed == 12
 
 
-def test_block_budget_enforced():
+def test_block_budget_surfaces_truncation():
     prog = Program(entry="spin", name="spin")
     b = BlockBuilder("spin")
     b.branch("BRO", target="spin", exit_id=0)
     prog.add_block(b.build())
-    with pytest.raises(InterpError):
-        Interpreter(prog).run(max_blocks=100)
+    result = Interpreter(prog).run(max_blocks=100)
+    assert result.truncated
+    assert not result.halted
+    assert result.blocks_executed == 100
+
+
+def test_completed_run_is_not_truncated():
+    program, __ = ALL_SAMPLES["counted_loop"]()
+    result = Interpreter(program).run()
+    assert result.halted and not result.truncated
 
 
 def test_memory_isolated_until_commit():
@@ -54,7 +62,7 @@ def test_memory_isolated_until_commit():
     outcome = interp.execute_block(block)
     assert interp.mem.read_bytes(0x10_0000, 16) == before
     assert interp.regs[10] == 0
-    interp._commit(outcome)
+    interp.commit(outcome)
     assert interp.regs[10] == 0xBEEF + 1
 
 

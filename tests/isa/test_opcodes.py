@@ -10,6 +10,7 @@ from repro.isa.opcodes import (
     INT_MIN,
     OPCODES,
     OpClass,
+    bind_evaluator,
     evaluate,
     memory_size,
     wrap64,
@@ -17,6 +18,23 @@ from repro.isa.opcodes import (
 
 
 int64 = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+
+
+def _alu_specs():
+    """Every opcode ``evaluate`` implements (probed, not listed, so a
+    new ALU opcode is covered automatically)."""
+    specs = []
+    for spec in OPCODES.values():
+        try:
+            probe = tuple([1.5 if spec.is_fp else 3] * spec.operands)
+            evaluate(spec, probe, imm=2 if spec.has_imm else None)
+        except ValueError:
+            continue
+        specs.append(spec)
+    return specs
+
+
+ALU_SPECS = _alu_specs()
 
 
 class TestWrap64:
@@ -183,3 +201,39 @@ class TestFloatEvaluate:
     def test_ftoi_itof_identity_on_small_ints(self, x):
         n = evaluate(OPCODES["FTOI"], (x,))
         assert isinstance(n, int)
+
+
+class TestBindEvaluator:
+    """The interpreter's prepared blocks pre-bind one evaluator per
+    static instruction; it must compute exactly what ``evaluate``
+    would, for every ALU opcode and operand/immediate combination."""
+
+    def test_covers_every_alu_opcode(self):
+        assert ALU_SPECS, "probe found no ALU opcodes"
+        for spec in ALU_SPECS:
+            assert callable(bind_evaluator(spec, 2 if spec.has_imm else None))
+
+    def test_rejects_non_alu_opcodes(self):
+        for name in ("LDD", "STD", "BRO", "HALT", "NULL"):
+            with pytest.raises(ValueError):
+                bind_evaluator(OPCODES[name])
+
+    @given(st.data())
+    def test_matches_evaluate(self, data):
+        spec = data.draw(st.sampled_from(ALU_SPECS))
+        value = (st.floats(allow_nan=False, allow_infinity=False)
+                 if spec.is_fp else int64)
+        operands = tuple(data.draw(value) for __ in range(spec.operands))
+        imm = data.draw(int64) if spec.has_imm else None
+
+        expected = evaluate(spec, operands, imm)
+        bound = bind_evaluator(spec, imm)
+        a = operands[0] if spec.operands >= 1 else None
+        b = operands[1] if spec.operands >= 2 else None
+        got = bound(a, b)
+
+        if isinstance(expected, float) and math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == expected
+            assert type(got) is type(expected)

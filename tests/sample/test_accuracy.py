@@ -1,0 +1,120 @@
+"""The sampled-simulation acceptance gates.
+
+Two end-to-end properties, both recorded into ``BENCH_sim.json`` so the
+trajectory file carries accuracy/speedup alongside the perf-smoke
+timings:
+
+* **Accuracy** — on the golden ``scale=1`` suite, sampled runs with the
+  accuracy-oriented parameters must land within 5% geomean IPC error of
+  the full-detail runs the golden suite locks down.
+* **Speedup** — on a ``scale=4`` figure-6 subset, sampled runs with the
+  throughput-oriented parameters must be at least 5x faster in
+  aggregate wall-clock than full detail.
+
+Wall-clock is measured with every cache layer disabled, and the gate is
+on the *aggregate* (pooled) ratio: per-point ratios vary with benchmark
+length, but the pooled ratio is what a sweep actually experiences.
+"""
+
+import math
+import pathlib
+import time
+
+import repro.harness.runner as runner_mod
+from repro.exec.spec import JobSpec
+from repro.harness import configure_cache
+from repro.harness.benchrecord import record_job
+from repro.harness.golden import GOLDEN_BENCHMARKS, GOLDEN_SCALE
+from repro.harness.runner import simulate_spec
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+OUTPUT_PATH = ROOT / "BENCH_sim.json"
+
+#: Accuracy-oriented parameters: dense windows, most blocks detailed.
+ACCURACY_SAMPLING = {"ff_blocks": 16, "window_blocks": 32,
+                     "warmup_blocks": 8}
+#: Throughput-oriented parameters: long fast-forward gaps for scale>1
+#: sweeps (the defaults wired into the ``--sample`` CLI flags sit
+#: between these two).
+SPEEDUP_SAMPLING = {"ff_blocks": 4000, "window_blocks": 12,
+                    "warmup_blocks": 8}
+
+#: The figure-6 subset timed for the speedup gate: two golden
+#: benchmarks long enough at scale=4 that sampling has room to work,
+#: at two composition sizes.
+SPEEDUP_POINTS = (("conv", 8), ("conv", 16), ("ammp", 8), ("ammp", 16))
+SPEEDUP_SCALE = 4
+
+GEOMEAN_ERROR_GATE = 0.05
+SPEEDUP_GATE = 5.0
+
+
+def _calibrate() -> float:
+    """Machine-speed probe matching ``benchmarks/test_perf_smoke.py``."""
+    t0 = time.perf_counter()
+    x = 0
+    for i in range(2_000_000):
+        x ^= i
+    return time.perf_counter() - t0
+
+
+def _cold(fn):
+    """Run ``fn`` with the in-process and on-disk result caches off."""
+    saved = dict(runner_mod._CACHE)
+    runner_mod._CACHE.clear()
+    configure_cache(enabled=False)
+    try:
+        return fn()
+    finally:
+        runner_mod._CACHE.clear()
+        runner_mod._CACHE.update(saved)
+
+
+def test_sampled_accuracy_gate_golden_suite():
+    """Geomean IPC error across the golden suite must be within 5%."""
+    errors = {}
+    for bench in GOLDEN_BENCHMARKS:
+        full = simulate_spec(JobSpec.edge(bench, 8, scale=GOLDEN_SCALE))
+        sampled = simulate_spec(JobSpec.edge(
+            bench, 8, scale=GOLDEN_SCALE, sampling=ACCURACY_SAMPLING))
+        # Both modes execute the identical committed block stream, so
+        # relative cycle error IS the IPC error for the workload.  (The
+        # reported insts_committed can differ by a hair — fast-forward
+        # counts interpreter-fired instructions — so comparing the two
+        # ratios directly would conflate that counting difference in.)
+        assert sampled.stats.blocks_committed == full.stats.blocks_committed
+        errors[bench] = abs(sampled.cycles - full.cycles) / full.cycles
+
+    geomean = math.exp(
+        sum(math.log1p(e) for e in errors.values()) / len(errors)) - 1
+    record_job(OUTPUT_PATH, ROOT, "sampled_error_geomean_pct",
+               geomean * 100, _calibrate())
+    detail = ", ".join(f"{b}={e:.1%}" for b, e in sorted(errors.items()))
+    assert geomean <= GEOMEAN_ERROR_GATE, (
+        f"geomean IPC error {geomean:.2%} exceeds "
+        f"{GEOMEAN_ERROR_GATE:.0%} ({detail})")
+
+
+def test_sampled_speedup_gate_scale4_subset():
+    """Sampled mode must be >=5x faster in aggregate on the scale=4
+    figure-6 subset."""
+    def run(sampling):
+        t0 = time.perf_counter()
+        for bench, ncores in SPEEDUP_POINTS:
+            simulate_spec(JobSpec.edge(bench, ncores, scale=SPEEDUP_SCALE,
+                                       sampling=sampling))
+        return time.perf_counter() - t0
+
+    full_seconds = _cold(lambda: run(None))
+    sampled_seconds = _cold(lambda: run(SPEEDUP_SAMPLING))
+    speedup = full_seconds / sampled_seconds
+
+    calibration = _calibrate()
+    record_job(OUTPUT_PATH, ROOT, "sampled_fig6s4_full", full_seconds,
+               calibration)
+    record_job(OUTPUT_PATH, ROOT, "sampled_fig6s4_sampled", sampled_seconds,
+               calibration)
+    record_job(OUTPUT_PATH, ROOT, "sampled_speedup_x", speedup, calibration)
+    assert speedup >= SPEEDUP_GATE, (
+        f"aggregate speedup {speedup:.1f}x below {SPEEDUP_GATE:.0f}x "
+        f"(full {full_seconds:.2f}s, sampled {sampled_seconds:.2f}s)")

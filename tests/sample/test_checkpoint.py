@@ -1,0 +1,222 @@
+"""Checkpoint serialization: property-based round-trips for every
+state-transfer surface, plus resume determinism for the whole engine.
+
+The serialization tests push randomised state through a JSON encode /
+decode cycle (``json.loads(json.dumps(...))``) on every round-trip, so
+they prove not just equality but JSON-safety — the property the
+on-disk checkpoint format depends on.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.spec import JobSpec
+from repro.isa.program import BLOCK_STRIDE
+from repro.mem.cache import CacheBank, LineState
+from repro.mem.flatmem import FlatMemory
+from repro.predictor.bank import PredictorBank
+from repro.predictor.ras import DistributedRas
+from repro.predictor.targets import BranchKind
+from repro.sample.checkpoint import CHECKPOINT_SCHEMA, Checkpoint
+from repro.sample.engine import SampledRun
+
+
+def _json_roundtrip(obj):
+    return json.loads(json.dumps(obj))
+
+
+# ----------------------------------------------------------------------
+# Architectural state: flat memory
+# ----------------------------------------------------------------------
+
+_mem_stores = st.lists(
+    st.tuples(st.integers(0, (1 << 20) // 8 - 1),          # word slot
+              st.integers(-(2 ** 31), 2 ** 31 - 1)),        # value
+    max_size=40)
+
+
+class TestFlatMemory:
+    @given(_mem_stores)
+    def test_snapshot_restore_roundtrip(self, stores):
+        mem = FlatMemory()
+        for slot, value in stores:
+            mem.store(slot * 8, 8, value)
+        fresh = FlatMemory()
+        fresh.restore(_json_roundtrip(mem.snapshot()))
+        assert fresh.snapshot() == mem.snapshot()
+        for slot, __ in stores:
+            assert fresh.load(slot * 8, 8) == mem.load(slot * 8, 8)
+
+    def test_restore_replaces_prior_contents(self):
+        mem = FlatMemory()
+        mem.store(0, 8, 7)
+        snap = mem.snapshot()
+        other = FlatMemory()
+        other.store(4096, 8, 99)
+        other.restore(snap)
+        assert other.load(0, 8) == 7
+        assert other.load(4096, 8) == 0
+
+
+# ----------------------------------------------------------------------
+# Shadow cache banks
+# ----------------------------------------------------------------------
+
+_cache_fills = st.lists(
+    st.tuples(st.integers(0, 3),                            # ctx
+              st.integers(0, 255),                          # line index
+              st.booleans()),                               # modified?
+    max_size=60)
+
+
+class TestCacheBank:
+    @given(_cache_fills)
+    def test_export_import_roundtrip(self, fills):
+        bank = CacheBank(4096, 2, name="src")
+        for ctx, index, modified in fills:
+            state = LineState.MODIFIED if modified else LineState.SHARED
+            bank.fill(ctx, index * 64, state)
+        exported = _json_roundtrip(bank.export_lines())
+        fresh = CacheBank(4096, 2, name="dst")
+        fresh.import_lines(exported)
+        # Byte-equal export preserves contents, LRU order, and states.
+        assert fresh.export_lines() == bank.export_lines()
+
+    def test_geometry_mismatch_rejected(self):
+        bank = CacheBank(4096, 2, name="src")
+        bank.fill(0, 0)
+        with pytest.raises(ValueError):
+            CacheBank(2048, 2, name="dst").import_lines(bank.export_lines())
+
+
+# ----------------------------------------------------------------------
+# Predictor bank + distributed RAS
+# ----------------------------------------------------------------------
+
+_pred_stream = st.lists(
+    st.tuples(st.integers(0, 63),                           # block number
+              st.integers(0, 7),                            # actual exit id
+              st.sampled_from(list(BranchKind)),            # actual kind
+              st.integers(1, 63)),                          # target block
+    max_size=30)
+
+
+class TestPredictorBank:
+    @given(_pred_stream)
+    @settings(deadline=None)
+    def test_state_roundtrip_after_training(self, stream):
+        bank = PredictorBank()
+        ras = DistributedRas(4)
+        ghist = 0
+        for num, exit_id, kind, target in stream:
+            prediction = bank.predict(num * BLOCK_STRIDE, ghist, ras)
+            bank.update(prediction, exit_id, kind, target * BLOCK_STRIDE)
+            ghist = prediction.next_global_history
+        state = _json_roundtrip(bank.state_dict())
+        fresh = PredictorBank()
+        fresh.load_state(state)
+        assert fresh.state_dict() == bank.state_dict()
+
+    def test_geometry_mismatch_rejected(self):
+        state = PredictorBank().state_dict()
+        with pytest.raises(ValueError):
+            PredictorBank(local_l1=32).load_state(state)
+
+
+class TestDistributedRas:
+    @given(st.lists(st.integers(1, 2 ** 32 - 1), max_size=40),
+           st.integers(0, 40))
+    def test_state_roundtrip(self, pushes, npops):
+        ras = DistributedRas(4, 4)   # capacity 16: long streams wrap
+        for addr in pushes:
+            ras.push(addr)
+        for __ in range(min(npops, len(pushes))):
+            ras.pop()
+        state = _json_roundtrip(ras.state_dict())
+        fresh = DistributedRas(4, 4)
+        fresh.load_state(state)
+        assert fresh.state_dict() == ras.state_dict()
+        if len(pushes) > npops:
+            assert fresh.pop()[0] == ras.pop()[0]
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedRas(2, 4).load_state(DistributedRas(4, 4).state_dict())
+
+
+# ----------------------------------------------------------------------
+# Whole-run checkpoints
+# ----------------------------------------------------------------------
+
+SAMPLING = {"ff_blocks": 16, "window_blocks": 32, "warmup_blocks": 8}
+
+
+def _spec(bench="ammp", **kwargs):
+    return JobSpec.edge(bench, 8, scale=1, sampling=SAMPLING, **kwargs)
+
+
+class TestCheckpointContainer:
+    def test_dict_and_file_roundtrip(self, tmp_path):
+        run = SampledRun(_spec())
+        run.step()
+        checkpoint = run.checkpoint()
+        rebuilt = Checkpoint.from_dict(_json_roundtrip(checkpoint.to_dict()))
+        assert rebuilt.to_dict() == checkpoint.to_dict()
+
+        path = tmp_path / "run.ckpt"
+        checkpoint.save(path)
+        assert Checkpoint.load(path).to_dict() == checkpoint.to_dict()
+
+    def test_schema_mismatch_rejected(self):
+        run = SampledRun(_spec())
+        run.step()
+        data = run.checkpoint().to_dict()
+        data["schema"] = CHECKPOINT_SCHEMA + 1
+        with pytest.raises(ValueError):
+            Checkpoint.from_dict(data)
+
+    def test_resume_under_different_spec_rejected(self):
+        run = SampledRun(_spec())
+        run.step()
+        checkpoint = run.checkpoint()
+        with pytest.raises(ValueError):
+            SampledRun.resume(_spec("gzip"), checkpoint)
+
+
+class TestResumeDeterminism:
+    def test_resume_equals_straight_line(self, tmp_path):
+        """Checkpoint after one window/fast-forward step, push the
+        checkpoint through the on-disk JSON format, resume, and finish:
+        the RunResult must be *identical* to the uninterrupted run's."""
+        spec = _spec()
+        straight = SampledRun(spec)
+        expected = straight.run()
+
+        interrupted = SampledRun(spec)
+        assert interrupted.step()
+        path = tmp_path / "warm.ckpt"
+        interrupted.checkpoint().save(path)
+
+        resumed = SampledRun.resume(spec, Checkpoint.load(path))
+        actual = resumed.run()
+        assert actual.to_dict() == expected.to_dict()
+
+    def test_checkpoint_carries_dependence_history(self):
+        """The violation-history set rides through the checkpoint: it
+        accumulates monotonically in a real run, and dropping it at a
+        resume boundary would bias later windows fast."""
+        spec = JobSpec.edge(
+            "gzip", 8, scale=4,
+            sampling={"ff_blocks": 64, "window_blocks": 24,
+                      "warmup_blocks": 8})
+        run = SampledRun(spec)
+        while run.step():
+            pass
+        assert run.dependence, "expected gzip scale=4 to violate"
+        checkpoint = run.checkpoint()
+        rebuilt = SampledRun.resume(spec,
+                                    Checkpoint.from_dict(
+                                        _json_roundtrip(checkpoint.to_dict())))
+        assert rebuilt.dependence == run.dependence

@@ -164,6 +164,8 @@ def assert_three_way_agreement(program: Program, ncores: int) -> None:
     """Interpreter, 1-core sim, and N-core sim must agree exactly."""
     golden = Interpreter(program)
     result = golden.run(max_blocks=1000)
+    assert result.halted and not result.truncated, \
+        "golden run truncated by block budget — oracle comparison invalid"
     expected_scratch = _scratch_words(golden.mem)
 
     for cores in (1, ncores):

@@ -103,5 +103,6 @@ class TestErrorsAndEdges:
         proc = system.compose(rectangle(TFLEX, 2, (0, 0)), program)
         proc.halted = False
         proc.next_gseq = 1   # pretend it started; no events scheduled
+        proc.started = True
         with pytest.raises(SimulationDeadlock):
             system.run()

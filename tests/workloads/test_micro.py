@@ -16,7 +16,8 @@ def test_golden_models_agree(name):
     kernel, expected = MICROBENCHMARKS[name]()
     edge = compile_edge(kernel)
     interp = Interpreter(edge)
-    interp.run(max_blocks=500_000)
+    result = interp.run(max_blocks=500_000)
+    assert result.halted and not result.truncated
     verify_edge_run(kernel, interp.mem, expected)
 
     kernel2, expected2 = MICROBENCHMARKS[name]()

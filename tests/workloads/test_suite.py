@@ -68,7 +68,8 @@ class TestGoldenModels:
     def test_edge_interpreter_matches_reference(self, name):
         program, expected, kernel = BENCHMARKS[name].edge_program()
         interp = Interpreter(program)
-        interp.run(max_blocks=500_000)
+        result = interp.run(max_blocks=500_000)
+        assert result.halted and not result.truncated
         verify_edge_run(kernel, interp.mem, expected)
 
     def test_risc_interpreter_matches_reference(self, name):
