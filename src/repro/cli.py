@@ -9,8 +9,16 @@ Commands:
 * ``fig5|fig6|fig7|fig8|fig9|fig10|table2`` — regenerate one of the
   paper's artifacts (fig7/8/10/table2 compute the figure-6 sweep first);
   ``--bench NAME`` (repeatable) restricts the suite.
+* ``resil`` — the dead-core degradation sweep (figure R); ``--out``
+  writes the curve as JSON.  See docs/RESILIENCE.md.
 * ``disasm BENCH`` — print the compiled EDGE hyperblocks.
 * ``profile BENCH`` — wall-clock phase profile of one simulation.
+
+``run`` additionally takes ``--inject SPEC`` (repeatable) to inject
+faults: ``dead:CORE``, ``kill:CORE@CYCLE``, or ``link:SRC-DST:EXTRA``
+(docs/RESILIENCE.md has the grammar).  Flag combinations are validated
+up front — conflicting or out-of-range ``--sample-*``/``--inject``
+values fail with an actionable message before any simulation starts.
 
 Simulating commands take ``--jobs N`` (parallel workers for cold
 points), ``--cache-dir DIR`` and ``--no-cache`` (the persistent result
@@ -56,12 +64,32 @@ def _cmd_run(args) -> int:
               "the TRIPS baseline always runs in full detail",
               file=sys.stderr)
         sampling = None
+    faults = None
+    if getattr(args, "inject", None):
+        from repro.resil import FaultSchedule, parse_inject
+
+        faults = FaultSchedule(tuple(parse_inject(text)
+                                     for text in args.inject)).spec_items()
     run = run_edge_benchmark(args.bench, ncores=args.cores,
                              trips=(args.machine == "trips"),
-                             scale=args.scale, sampling=sampling)
+                             scale=args.scale, sampling=sampling,
+                             faults=faults)
     print(f"{args.bench} on {run.label}:")
     print(run.stats.summary())
     print(run.power.table())
+    if run.resil:
+        info = run.resil
+        print(f"faults: {len(info['injected'])} injected, "
+              f"{len(info['recoveries'])} recoveries, "
+              f"{len(info['segments'])} segments")
+        for rec in info["recoveries"]:
+            print(f"  cycle {rec['cycle']}: core {rec['core']} died, "
+                  f"{len(rec['old_cores'])} -> {len(rec['new_cores'])} cores "
+                  f"in {rec['recovery_cycles']} cycles "
+                  f"({rec['blocks_lost']} blocks lost, "
+                  f"IPC {rec['ipc_before']:.2f} -> "
+                  + (f"{rec['ipc_after']:.2f})" if rec["ipc_after"]
+                     is not None else "n/a)"))
     if run.sampling:
         info = run.sampling
         print(f"sampled: {info['windows']} windows, "
@@ -172,6 +200,28 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_resil(args) -> int:
+    import json
+
+    from repro.harness import figR_degradation
+
+    result = figR_degradation(
+        target_cores=args.cores, max_dead=args.max_dead,
+        benchmarks=args.benchmarks, seed=args.seed, scale=args.scale,
+        jobs=args.jobs, progress=args.jobs > 1)
+    print(result.render())
+    if not result.monotone_trend():
+        print("repro: warning: degradation curve is not monotone — a "
+              "benchmark in the sweep gains from smaller compositions "
+              "(see docs/RESILIENCE.md)", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            json.dump(result.payload(), sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"degradation curve written to {args.out}")
+    return 0
+
+
 def _add_sample_flags(sub_parser) -> None:
     """Sampled-simulation knobs (see docs/PERFORMANCE.md)."""
     sub_parser.add_argument(
@@ -234,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--machine", choices=("tflex", "trips", "ooo"),
                        default="tflex")
     run_p.add_argument("--scale", type=int, default=1)
+    run_p.add_argument(
+        "--inject", action="append", metavar="SPEC",
+        help="inject a fault: dead:CORE, kill:CORE@CYCLE, or "
+             "link:SRC-DST:EXTRA[:NET] (repeatable; TFlex only)")
     _add_sample_flags(run_p)
     _add_exec_flags(run_p, jobs=False)
 
@@ -262,6 +316,23 @@ def build_parser() -> argparse.ArgumentParser:
                         default="tflex")
     prof_p.add_argument("--scale", type=int, default=1)
 
+    resil_p = sub.add_parser(
+        "resil", help="dead-core degradation sweep (figure R)")
+    resil_p.add_argument("--cores", type=int, default=16,
+                         help="target composition size (default 16)")
+    resil_p.add_argument("--max-dead", type=int, default=6,
+                         help="largest dead-core count swept (default 6)")
+    resil_p.add_argument("--seed", type=int, default=2007,
+                         help="seed for the dead-core permutation")
+    resil_p.add_argument("--scale", type=int, default=1)
+    resil_p.add_argument("--bench", action="append", dest="benchmarks",
+                         metavar="NAME",
+                         help="restrict the sweep to this benchmark "
+                              "(repeatable; default: ammp, conv, equake)")
+    resil_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write the degradation curve as JSON")
+    _add_exec_flags(resil_p)
+
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
         fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
         fig_p.add_argument("--scale", type=int, default=1)
@@ -273,6 +344,66 @@ def build_parser() -> argparse.ArgumentParser:
             _add_sample_flags(fig_p)
         _add_exec_flags(fig_p)
     return parser
+
+
+def _validate(parser: argparse.ArgumentParser, args) -> None:
+    """Check flag values and combinations up front, so misuse fails in
+    milliseconds with an actionable message instead of asserting deep
+    inside a multi-minute simulation."""
+    if getattr(args, "sample", False):
+        if args.sample_ff < 1:
+            parser.error(f"--sample-ff must be >= 1, got {args.sample_ff}")
+        if args.sample_window < 1:
+            parser.error(
+                f"--sample-window must be >= 1, got {args.sample_window}")
+        if args.sample_warmup < 0:
+            parser.error(
+                f"--sample-warmup must be >= 0, got {args.sample_warmup}")
+        if args.sample_warmup >= args.sample_window:
+            parser.error(
+                f"--sample-warmup ({args.sample_warmup}) must be smaller "
+                f"than --sample-window ({args.sample_window}): warm-up "
+                f"blocks run unmeasured before each window, so a warm-up "
+                f"that long leaves the window mostly unmeasured — raise "
+                f"--sample-window or lower --sample-warmup")
+    elif any(getattr(args, name, None) is not None
+             and getattr(args, name) != default
+             for name, default in (("sample_ff", 448),
+                                   ("sample_window", 40),
+                                   ("sample_warmup", 8))):
+        parser.error("--sample-ff/--sample-window/--sample-warmup have no "
+                     "effect without --sample")
+
+    if getattr(args, "inject", None):
+        if args.machine != "tflex":
+            parser.error(f"--inject targets TFlex compositions; it cannot "
+                         f"combine with --machine {args.machine}")
+        if getattr(args, "sample", False):
+            parser.error("--inject cannot combine with --sample: a "
+                         "recomposition inside a fast-forward region is "
+                         "undefined — drop one of the two")
+        from repro.resil import MAX_CYCLES, FaultSchedule, parse_inject
+        from repro.tflex import tflex_config
+
+        try:
+            schedule = FaultSchedule(tuple(parse_inject(text)
+                                           for text in args.inject))
+            schedule.validate(tflex_config(args.cores),
+                              max_cycles=MAX_CYCLES)
+        except ValueError as exc:
+            parser.error(f"--inject: {exc}")
+
+    if args.command == "resil":
+        from repro.tflex.placement import SHAPES
+
+        if args.cores not in SHAPES:
+            parser.error(
+                f"--cores must be a power of two up to 32, got {args.cores}")
+        if not 0 < args.max_dead < args.cores:
+            parser.error(
+                f"--max-dead must be between 1 and {args.cores - 1} "
+                f"(at least one core has to survive on a "
+                f"{args.cores}-core chip), got {args.max_dead}")
 
 
 def _configure_store(args) -> None:
@@ -326,11 +457,15 @@ def _dispatch(args) -> int:
         return _cmd_timeline(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "resil":
+        return _cmd_resil(args)
     return _cmd_figure(args)
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
     try:
         _configure_store(args)
     except OSError as exc:

@@ -36,6 +36,17 @@ STATUS_CACHED = "cached"     # satisfied from the result store
 STATUS_FAILED = "failed"     # exhausted retries (raise/crash/timeout)
 
 
+def _failure_reason(error: str) -> str:
+    """Classify a worker error string for metric labels: ``timeout``
+    (wall clock exceeded), ``crash`` (the process died or its pipe
+    broke), or ``exception`` (the job raised)."""
+    if error.startswith("worker timed out"):
+        return "timeout"
+    if error.startswith("worker crashed") or error == "worker pipe broken":
+        return "crash"
+    return "exception"
+
+
 @dataclass
 class JobResult:
     """Outcome of one job in a sweep."""
@@ -154,6 +165,8 @@ class ParallelExecutor:
                     break
                 except Exception as exc:
                     error = f"{type(exc).__name__}: {exc}"
+                    if attempts <= self.retries:
+                        self._note_retry(spec, attempts, error, reporter)
             results[i] = self._finish(spec, payload, error, attempts,
                                       time.monotonic() - started, reporter)
 
@@ -183,12 +196,13 @@ class ParallelExecutor:
                         time.monotonic() - started_total[i], reporter)
                 else:
                     errors[i] = value
+                    if (self.obs.active
+                            and _failure_reason(value) == "crash"):
+                        self.obs.metrics.inc("exec.crashes",
+                                             bench=specs[i].bench)
                     if attempts[i] <= self.retries:
-                        if self.obs.active:
-                            self.obs.emit("job.retry", bench=specs[i].bench,
-                                          label=specs[i].label(),
-                                          attempt=attempts[i], error=value)
-                            self.obs.metrics.inc("exec.retries")
+                        self._note_retry(specs[i], attempts[i], value,
+                                         reporter)
                         pending.appendleft(i)    # retry before new work
                     else:
                         results[i] = self._finish(
@@ -273,6 +287,20 @@ class ParallelExecutor:
             pass
 
     # -- shared completion ---------------------------------------------
+
+    def _note_retry(self, spec: JobSpec, attempt: int, error: str,
+                    reporter: Optional[ProgressReporter]) -> None:
+        """One failed attempt is about to be retried: emit the labelled
+        retry metric and surface it in the progress line (shared by the
+        serial and parallel paths)."""
+        reason = _failure_reason(error)
+        if self.obs.active:
+            self.obs.emit("job.retry", bench=spec.bench, label=spec.label(),
+                          attempt=attempt, error=error, reason=reason)
+            self.obs.metrics.inc("exec.retries", reason=reason,
+                                 bench=spec.bench)
+        if reporter is not None:
+            reporter.note_retry()
 
     def _finish(self, spec: JobSpec, payload: Optional[dict],
                 error: Optional[str], attempts: int, duration: float,

@@ -35,6 +35,7 @@ class ProgressReporter:
         self.done = 0
         self.failed = 0
         self.cached = 0
+        self.retries = 0
         self._start = self.clock()
         self._last_emit = float("-inf")
         self._emitted = False
@@ -57,6 +58,12 @@ class ProgressReporter:
         if now - self._last_emit >= self.min_interval or self.done == self.total:
             self._emit(now, label)
             self._last_emit = now
+
+    def note_retry(self) -> None:
+        """Record one retried attempt (the job is not done yet, so this
+        never advances the counter — it only surfaces flakiness in the
+        progress line)."""
+        self.retries += 1
 
     def finish(self) -> None:
         """Terminate the progress line.
@@ -88,6 +95,8 @@ class ProgressReporter:
                 f"elapsed {_fmt_seconds(elapsed)} eta {eta_text}")
         if self.failed:
             text += f" failed {self.failed}"
+        if self.retries:
+            text += f" retries {self.retries}"
         if label:
             text += f" last={label}"
         return text

@@ -25,7 +25,9 @@ from typing import Any, Mapping, Optional
 #: every on-disk record keyed under the old salt becomes a miss.
 #: 2: sampled-simulation support (``sampling`` spec field; RunResult
 #:    payloads may carry a ``sampling`` section).
-SCHEMA_VERSION = 2
+#: 3: fault-injection support (``faults`` spec field; RunResult
+#:    payloads may carry a ``resil`` section).
+SCHEMA_VERSION = 3
 
 
 def _freeze_overrides(overrides: Optional[Mapping[str, Any]]) -> tuple:
@@ -58,6 +60,11 @@ class JobSpec:
     #: Sampled-simulation parameters as frozen items (empty = full
     #: detail); see :class:`repro.sample.SamplingConfig`.
     sampling: tuple = ()
+    #: Fault schedule as canonical JSON strings, one per event, in
+    #: canonical order (empty = fault-free).  The spec stays agnostic
+    #: of the fault model — :meth:`repro.resil.FaultSchedule.spec_items`
+    #: is the encoder, ``FaultSchedule.from_spec_items`` the decoder.
+    faults: tuple = ()
 
     @staticmethod
     def edge(bench: str, ncores: int = 8, trips: bool = False,
@@ -65,7 +72,18 @@ class JobSpec:
              overrides: Optional[Mapping[str, Any]] = None,
              core_overrides: Optional[Mapping[str, Any]] = None,
              verify: bool = True,
-             sampling: Optional[Mapping[str, Any]] = None) -> "JobSpec":
+             sampling: Optional[Mapping[str, Any]] = None,
+             faults: Optional[tuple] = None) -> "JobSpec":
+        if faults:
+            if sampling:
+                raise ValueError(
+                    "fault injection and sampled simulation cannot "
+                    "combine: a recomposition inside a fast-forward "
+                    "region is undefined")
+            if trips:
+                raise ValueError(
+                    "fault injection targets the composable TFlex "
+                    "array, not the monolithic TRIPS baseline")
         # TRIPS ignores the requested composition size (the prototype is
         # fixed); normalise it out so equivalent points share one hash.
         return JobSpec(
@@ -75,7 +93,8 @@ class JobSpec:
             overrides=_freeze_overrides(overrides),
             core_overrides=_freeze_overrides(core_overrides),
             verify=verify,
-            sampling=_freeze_overrides(sampling))
+            sampling=_freeze_overrides(sampling),
+            faults=tuple(faults or ()))
 
     @staticmethod
     def risc(bench: str, scale: int = 1, verify: bool = True) -> "JobSpec":
@@ -104,6 +123,8 @@ class JobSpec:
                 label += f"+{name}={value}"
         if self.sampling:
             label += "+sampled"
+        if self.faults:
+            label += f"+faults{len(self.faults)}"
         return label
 
     def canonical(self) -> dict:
@@ -119,6 +140,7 @@ class JobSpec:
             "core_overrides": [[k, v] for k, v in self.core_overrides],
             "verify": self.verify,
             "sampling": [[k, v] for k, v in self.sampling],
+            "faults": list(self.faults),
         }
 
     def canonical_json(self) -> str:
@@ -134,6 +156,7 @@ class JobSpec:
         kwargs = {k: v for k, v in data.items() if k in known}
         for name in ("overrides", "core_overrides", "sampling"):
             kwargs[name] = tuple((k, v) for k, v in kwargs.get(name, ()))
+        kwargs["faults"] = tuple(kwargs.get("faults", ()))
         return JobSpec(**kwargs)
 
 

@@ -28,6 +28,8 @@ from repro.harness.experiments import (
     fig8_power,
     fig9_protocols,
     fig10_multiprogramming,
+    figR_degradation,
+    figR_specs,
     table2_area_power,
 )
 from repro.harness.reporting import format_table, geomean
@@ -50,6 +52,8 @@ __all__ = [
     "fig8_power",
     "fig9_protocols",
     "fig10_multiprogramming",
+    "figR_degradation",
+    "figR_specs",
     "table2_area_power",
     "format_table",
     "geomean",

@@ -22,8 +22,10 @@ from repro.harness.runner import (
 from repro.power import AreaModel, EnergyModel
 from repro.sched import (
     SpeedupTable,
+    degraded_assignment,
     fixed_cmp_assignment,
     optimal_assignment,
+    surviving_processors,
     symmetric_best_assignment,
 )
 from repro.workloads import BENCHMARKS, hand_optimized
@@ -390,6 +392,8 @@ class Fig10Result:
     ws: dict[int, dict[str, float]]
     #: workload size -> {granularity: fraction of threads} under TFlex.
     allocation: dict[int, dict[int, float]]
+    #: Cores dead at boot (0 = the paper's pristine chip).
+    dead_cores: int = 0
 
     def average(self, label: str) -> float:
         return sum(self.ws[m][label] for m in self.sizes) / len(self.sizes)
@@ -435,10 +439,21 @@ def fig10_multiprogramming(fig6: Fig6Result,
                            sizes: Sequence[int] = (2, 4, 6, 8, 12, 16),
                            granularities: Sequence[int] = (1, 2, 4, 8, 16),
                            workloads_per_size: int = 8,
-                           seed: int = 2007) -> Fig10Result:
+                           seed: int = 2007,
+                           dead_cores: int = 0) -> Fig10Result:
     """Paper methodology: WS computed analytically from the figure-6
     cores->speedup functions of the 12 hand-optimized benchmarks, with
-    an optimal DP allocator for TFlex."""
+    an optimal DP allocator for TFlex.
+
+    ``dead_cores`` kills that many cores at boot (seeded, nested draw —
+    independent of the workload stream so the pristine figure is
+    untouched).  The TFlex allocator packs around the dead cores at a
+    one-core-per-fault cost; a fixed CMP loses every processor tile a
+    dead core lands in, which is the asymmetry the resilience
+    experiment quantifies.
+    """
+    from repro.tflex import tflex_config
+
     apps_pool = [b.name for b in hand_optimized() if b.name in fig6.benchmarks]
     if not apps_pool:
         apps_pool = fig6.benchmarks
@@ -446,6 +461,23 @@ def fig10_multiprogramming(fig6: Fig6Result,
     allowed = tuple(fig6.core_counts)   # only measured composition sizes
     granularities = tuple(g for g in granularities if g in allowed)
     rng = Lcg(seed)
+
+    cfg = tflex_config(32)
+    dead: set[int] = set()
+    if dead_cores:
+        # Separate stream: the workload draw below must not shift.
+        from repro.resil.faults import FaultSchedule
+
+        dead = set(FaultSchedule.boot_dead(dead_cores, cfg.num_cores,
+                                           seed=seed + 999331)
+                   .boot_dead_cores())
+
+    def degraded_fixed(workload: list[str], g: int) -> float:
+        processors = surviving_processors(cfg, g, dead)
+        if not processors:
+            return 0.0
+        return fixed_cmp_assignment(workload, table, g,
+                                    total_cores=processors * g)[0]
 
     ws: dict[int, dict[str, float]] = {}
     allocation: dict[int, dict[int, float]] = {}
@@ -456,11 +488,20 @@ def fig10_multiprogramming(fig6: Fig6Result,
         size_counts: dict[int, int] = {}
         for __ in range(workloads_per_size):
             workload = [apps_pool[rng.next() % len(apps_pool)] for __ in range(m)]
-            for g in granularities:
-                totals[f"CMP-{g}"] += fixed_cmp_assignment(workload, table, g)[0]
-            totals["VB-CMP"] += symmetric_best_assignment(
-                workload, table, allowed=allowed)[0]
-            tflex_ws, assigned = optimal_assignment(workload, table, allowed=allowed)
+            if dead:
+                for g in granularities:
+                    totals[f"CMP-{g}"] += degraded_fixed(workload, g)
+                totals["VB-CMP"] += max(degraded_fixed(workload, g)
+                                        for g in allowed)
+                tflex_ws, assigned, __ = degraded_assignment(
+                    workload, table, cfg, dead, allowed)
+            else:
+                for g in granularities:
+                    totals[f"CMP-{g}"] += fixed_cmp_assignment(workload, table, g)[0]
+                totals["VB-CMP"] += symmetric_best_assignment(
+                    workload, table, allowed=allowed)[0]
+                tflex_ws, assigned = optimal_assignment(workload, table,
+                                                        allowed=allowed)
             totals["TFlex"] += tflex_ws
             for k in assigned:
                 size_counts[k] = size_counts.get(k, 0) + 1
@@ -468,7 +509,7 @@ def fig10_multiprogramming(fig6: Fig6Result,
         assigned_total = sum(size_counts.values())
         allocation[m] = {k: c / assigned_total for k, c in sorted(size_counts.items())}
     return Fig10Result(sizes=tuple(sizes), granularities=tuple(granularities),
-                       ws=ws, allocation=allocation)
+                       ws=ws, allocation=allocation, dead_cores=dead_cores)
 
 
 # ----------------------------------------------------------------------
@@ -506,3 +547,136 @@ def table2_area_power(fig6: Fig6Result) -> Table2Result:
     return Table2Result(area=AreaModel(),
                         tflex_power=mean_power("tflex-8"),
                         trips_power=mean_power("trips"))
+
+
+# ----------------------------------------------------------------------
+# Figure R: performance degradation versus dead cores (repro.resil)
+# ----------------------------------------------------------------------
+
+#: Benchmarks the degradation sweep runs by default.  These three have
+#: monotone cores->performance curves up to 16 cores (figure 6), so
+#: shrinking the composition can only cost performance and the curve
+#: cleanly isolates the fault cost.  Benchmarks that peak at small
+#: compositions (gzip, dither) can *gain* from losing cores — real
+#: machine behaviour, but it muddies a degradation plot.
+FIGR_BENCHMARKS = ("ammp", "conv", "equake")
+
+
+@dataclass
+class FigRResult:
+    """Performance versus dead-core count on one chip (the composable
+    graceful-degradation curve the fault model exists to plot)."""
+
+    target_cores: int
+    seed: int
+    scale: int
+    dead_counts: tuple[int, ...]
+    benchmarks: list[str]
+    runs: dict[str, dict[int, RunResult]]   # bench -> dead count -> result
+    dead_sets: dict[int, list[int]]         # dead count -> core ids
+
+    def performance(self, bench: str, dead: int) -> float:
+        return self.runs[bench][dead].performance
+
+    def relative(self, bench: str, dead: int) -> float:
+        """Performance with ``dead`` cores out, relative to pristine."""
+        return self.performance(bench, dead) / self.performance(bench, 0)
+
+    def mean_relative(self, dead: int) -> float:
+        return geomean([self.relative(b, dead) for b in self.benchmarks])
+
+    def granted_cores(self, dead: int) -> int:
+        """Composition size the survivors supported at this point."""
+        return self.runs[self.benchmarks[0]][dead].num_cores
+
+    def monotone_trend(self, tolerance: float = 0.02) -> bool:
+        """More dead cores never *helps*: the mean curve may only fall
+        (within ``tolerance``, for the flat plateaus where the dead
+        set grows without crossing a composition-size boundary)."""
+        means = [self.mean_relative(k) for k in self.dead_counts]
+        return all(b <= a * (1.0 + tolerance)
+                   for a, b in zip(means, means[1:]))
+
+    def payload(self) -> dict:
+        """JSON form of the curve (the CI artifact)."""
+        return {
+            "target_cores": self.target_cores,
+            "seed": self.seed,
+            "scale": self.scale,
+            "dead_counts": list(self.dead_counts),
+            "benchmarks": list(self.benchmarks),
+            "dead_sets": {str(k): v for k, v in self.dead_sets.items()},
+            "curve": [
+                {"dead": k,
+                 "granted_cores": self.granted_cores(k),
+                 "mean_relative": self.mean_relative(k),
+                 "relative": {b: self.relative(b, k)
+                              for b in self.benchmarks},
+                 "cycles": {b: self.runs[b][k].cycles
+                            for b in self.benchmarks}}
+                for k in self.dead_counts
+            ],
+            "monotone": self.monotone_trend(),
+        }
+
+    def render(self) -> str:
+        headers = (["dead", "cores"]
+                   + list(self.benchmarks) + ["GEOMEAN"])
+        rows = []
+        for k in self.dead_counts:
+            rows.append([k, self.granted_cores(k)]
+                        + [round(self.relative(b, k), 3)
+                           for b in self.benchmarks]
+                        + [round(self.mean_relative(k), 3)])
+        return format_table(
+            headers, rows,
+            title=f"Figure R: relative performance vs dead cores "
+                  f"({self.target_cores}-core chip, seed {self.seed})")
+
+
+def figR_specs(target_cores: int = 16, max_dead: int = 6,
+               benchmarks: Optional[Sequence[str]] = None,
+               seed: int = 2007, scale: int = 1) -> list[JobSpec]:
+    """Every point of the degradation sweep, as job specs.
+
+    One seeded nested permutation supplies the dead sets: the cores
+    dead at k are a subset of those dead at k+1, so the curve can only
+    degrade as k grows (no lucky re-rolls).
+    """
+    from repro.resil.faults import FaultSchedule
+
+    if not 0 < max_dead < target_cores:
+        raise ValueError(f"max_dead must be in [1, {target_cores - 1}], "
+                         f"got {max_dead}")
+    names = list(benchmarks) if benchmarks is not None else list(FIGR_BENCHMARKS)
+    specs = []
+    for k in range(max_dead + 1):
+        schedule = FaultSchedule.boot_dead(k, target_cores, seed)
+        for name in names:
+            specs.append(JobSpec.edge(name, ncores=target_cores, scale=scale,
+                                      faults=schedule.spec_items()))
+    return specs
+
+
+def figR_degradation(target_cores: int = 16, max_dead: int = 6,
+                     benchmarks: Optional[Sequence[str]] = None,
+                     seed: int = 2007, scale: int = 1,
+                     jobs: int = 1, progress: bool = False) -> FigRResult:
+    """Run the dead-core sweep and assemble the degradation curve."""
+    from repro.resil.faults import FaultSchedule
+
+    names = list(benchmarks) if benchmarks is not None else list(FIGR_BENCHMARKS)
+    _fan_out(figR_specs(target_cores, max_dead, names, seed, scale),
+             jobs, progress)
+    runs: dict[str, dict[int, RunResult]] = {b: {} for b in names}
+    dead_sets: dict[int, list[int]] = {}
+    for k in range(max_dead + 1):
+        schedule = FaultSchedule.boot_dead(k, target_cores, seed)
+        dead_sets[k] = schedule.boot_dead_cores()
+        for name in names:
+            runs[name][k] = run_edge_benchmark(
+                name, ncores=target_cores, scale=scale,
+                faults=schedule.spec_items())
+    return FigRResult(target_cores=target_cores, seed=seed, scale=scale,
+                      dead_counts=tuple(range(max_dead + 1)),
+                      benchmarks=names, runs=runs, dead_sets=dead_sets)

@@ -78,6 +78,10 @@ class RunResult:
     #: Sampled-run metadata (window counts, IPC estimate, error bound);
     #: None for full-detail runs.  See :mod:`repro.sample.engine`.
     sampling: Optional[dict] = None
+    #: Fault-injection metadata (schedule, injected events, recovery
+    #: reports, per-segment stats); None for fault-free runs.  See
+    #: :mod:`repro.resil.run`.
+    resil: Optional[dict] = None
 
     @property
     def performance(self) -> float:
@@ -95,10 +99,13 @@ class RunResult:
             "power": self.power.to_dict(),
             "dram_requests": self.dram_requests,
         }
-        # Only sampled runs carry the key, keeping full-detail payloads
-        # (and the golden fixtures built from them) unchanged.
+        # Only sampled/fault-injected runs carry these keys, keeping
+        # full-detail payloads (and the golden fixtures built from
+        # them) unchanged.
         if self.sampling is not None:
             data["sampling"] = self.sampling
+        if self.resil is not None:
+            data["resil"] = self.resil
         return data
 
     @staticmethod
@@ -110,7 +117,8 @@ class RunResult:
             stats=ProcStats.from_dict(data["stats"]),
             power=PowerBreakdown.from_dict(data["power"]),
             dram_requests=data["dram_requests"],
-            sampling=data.get("sampling"))
+            sampling=data.get("sampling"),
+            resil=data.get("resil"))
 
 
 @dataclass
@@ -222,6 +230,12 @@ def build_edge_config(spec: JobSpec):
 
 
 def _simulate_edge(spec: JobSpec) -> RunResult:
+    # Fault-injected specs route to the resilience driver (lazy import:
+    # repro.resil imports this module for RunResult).
+    if spec.faults:
+        from repro.resil import run_resilient
+
+        return run_resilient(spec)
     # Sampled specs route to the fast-forward engine.  The TRIPS
     # baseline always runs in full detail: its runs are short and its
     # centralized structures make sampling gains marginal.
@@ -334,7 +348,8 @@ def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
                        overrides: Optional[dict] = None,
                        core_overrides: Optional[dict] = None,
                        verify: bool = True,
-                       sampling: Optional[dict] = None) -> RunResult:
+                       sampling: Optional[dict] = None,
+                       faults: Optional[tuple] = None) -> RunResult:
     """Run one benchmark on a TFlex composition (or the TRIPS baseline).
 
     Results are cached per resolved job spec (in-process, then the
@@ -344,12 +359,14 @@ def run_edge_benchmark(name: str, ncores: int = 8, trips: bool = False,
     :class:`CoreConfig` fields for ablation studies.  ``sampling``
     (``{"ff_blocks", "window_blocks", "warmup_blocks"}``) switches the
     point to the sampled engine — cycles become an extrapolated
-    estimate, architectural results stay exact.
+    estimate, architectural results stay exact.  ``faults`` (the
+    ``spec_items()`` of a :class:`repro.resil.FaultSchedule`) routes
+    the point through the fault-injection driver.
     """
     spec = JobSpec.edge(name, ncores=ncores, trips=trips, scale=scale,
                         ideal_handshake=ideal_handshake,
                         overrides=overrides, core_overrides=core_overrides,
-                        verify=verify, sampling=sampling)
+                        verify=verify, sampling=sampling, faults=faults)
     return run_spec(spec)
 
 

@@ -160,6 +160,10 @@ class Network:
         self.stats = NetworkStats()
         # Directed link -> per-channel next-free cycle.
         self._free: dict[tuple[int, int], list[int]] = {}
+        # Directed link -> extra traversal cycles (fault injection).
+        # Consulted only by ``_delay_degraded``, which replaces
+        # ``_delay`` when the first degradation is installed.
+        self._degraded: dict[tuple[int, int], int] = {}
 
     def delay(self, src: int, dst: int, now: int) -> int:
         """Arrival cycle of a message injected at ``now``.
@@ -201,6 +205,57 @@ class Network:
             # cannot start before this one has left it.
             free[best] = start + hop_latency
             t = start + hop_latency
+        stats.messages += 1
+        stats.hops += len(path)
+        stats.total_latency += t - now
+        return t
+
+    def degrade_link(self, link: tuple[int, int], extra: int) -> None:
+        """Permanently add ``extra`` cycles to one directed link's
+        traversal (a marginal wire or router surviving in a degraded
+        mode).  Repeated calls on the same link accumulate.
+
+        This is the fault-injection seam: it rebinds ``_delay`` to the
+        degraded walk *on this instance only*, so a fault-free network
+        resolves ``_delay`` on the class and pays nothing — bit-identical
+        timing with zero hot-path branches.
+        """
+        if extra < 1:
+            raise ValueError("extra link latency must be >= 1")
+        src, dst = link
+        if self.topology.distance(src, dst) != 1:
+            raise ValueError(
+                f"({src},{dst}) is not a link: nodes are not mesh-adjacent")
+        self._degraded[(src, dst)] = self._degraded.get((src, dst), 0) + extra
+        self._delay = self._delay_degraded
+
+    def _delay_degraded(self, src: int, dst: int, now: int) -> int:
+        """The reservation walk of ``_delay`` with per-link extra
+        latency; installed over ``_delay`` by :meth:`degrade_link`."""
+        if src == dst:
+            self.stats.local_deliveries += 1
+            return now
+        t = now
+        stats = self.stats
+        free_map = self._free
+        hop_latency = self.hop_latency
+        channels = self.channels
+        degraded = self._degraded
+        path = self.topology.routes_cached(src, dst)
+        for link in path:
+            free = free_map.get(link)
+            if free is None:
+                free = [0] * channels
+                free_map[link] = free
+            best = 0
+            for ch in range(1, channels):
+                if free[ch] < free[best]:
+                    best = ch
+            start = t if free[best] <= t else free[best]
+            stats.contention_cycles += start - t
+            traversal = hop_latency + degraded.get(link, 0)
+            free[best] = start + traversal
+            t = start + traversal
         stats.messages += 1
         stats.hops += len(path)
         stats.total_latency += t - now

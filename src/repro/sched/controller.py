@@ -65,6 +65,21 @@ class AllocationEvent:
     running: dict[str, int]            # job name -> cores granted
     waiting: list[str]
     cores_used: int
+    #: Cores still alive at this decision (equals the chip size until
+    #: a :class:`CoreFailure` shrinks it).
+    capacity: int = 0
+
+
+@dataclass(frozen=True)
+class CoreFailure:
+    """``cores`` cores die at ``time`` (and stay dead)."""
+
+    time: float
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.cores < 1:
+            raise ValueError("a failure needs time >= 0 and cores >= 1")
 
 
 @dataclass
@@ -110,33 +125,42 @@ class ReallocationController:
     # Allocation policies
     # ------------------------------------------------------------------
 
-    def _allocate(self, active: list[Job]) -> tuple[dict[str, int], list[Job]]:
-        """(granted cores per job name, jobs left waiting)."""
-        if not active:
-            return {}, []
+    def _allocate(self, active: list[Job],
+                  capacity: Optional[int] = None,
+                  ) -> tuple[dict[str, int], list[Job]]:
+        """(granted cores per job name, jobs left waiting).
+
+        ``capacity`` is the live core count — ``total_cores`` until
+        failures shrink it.
+        """
+        if capacity is None:
+            capacity = self.total_cores
+        if not active or capacity <= 0:
+            return {}, list(active)
+        allowed = tuple(k for k in self.allowed if k <= capacity)
         if self.policy == "fixed":
-            processors = self.total_cores // self.granularity
+            processors = capacity // self.granularity
             running = active[:processors]
             waiting = active[processors:]
             return {j.name: self.granularity for j in running}, waiting
 
         # Elastic policies admit as many jobs as fit at minimum size.
-        capacity = self.total_cores // min(self.allowed)
-        running = active[:capacity]
-        waiting = active[capacity:]
+        admitted = capacity // min(allowed)
+        running = active[:admitted]
+        waiting = active[admitted:]
         apps = [j.bench for j in running]
         if self.policy == "composable":
-            __, sizes = optimal_assignment(apps, self.table, self.total_cores,
-                                           self.allowed)
+            __, sizes = optimal_assignment(apps, self.table, capacity,
+                                           allowed)
         else:
             __, sizes = symmetric_best_assignment(apps, self.table,
-                                                  self.total_cores, self.allowed)
+                                                  capacity, allowed)
             # symmetric_best may schedule fewer jobs than running.
             while len(sizes) < len(running):
                 waiting.insert(0, running.pop())
                 apps = [j.bench for j in running]
                 __, sizes = symmetric_best_assignment(
-                    apps, self.table, self.total_cores, self.allowed)
+                    apps, self.table, capacity, allowed)
         return {j.name: k for j, k in zip(running, sizes)}, waiting
 
     def _rate(self, job: Job, cores: int) -> float:
@@ -147,24 +171,34 @@ class ReallocationController:
     # Simulation
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> ScheduleResult:
+    def run(self, jobs: Sequence[Job],
+            failures: Sequence[CoreFailure] = ()) -> ScheduleResult:
+        """Simulate the job stream; ``failures`` permanently remove
+        cores at their times, and the controller re-solves the
+        allocation at each one — the run-time half of the resilience
+        story (``repro.resil`` recovers the *threads*; this layer
+        re-plans the *chip*)."""
         jobs = sorted(jobs, key=lambda j: (j.arrival, j.name))
         for job in jobs:
             job.remaining = job.work
             job.start = None
             job.finish = None
         pending = list(jobs)
+        faults = sorted(failures, key=lambda f: f.time)
         active: list[Job] = []
         trace: list[AllocationEvent] = []
         now = 0.0
+        capacity = self.total_cores
 
         while pending or active:
             if not active and pending:
                 now = max(now, pending[0].arrival)
             while pending and pending[0].arrival <= now + 1e-12:
                 active.append(pending.pop(0))
+            while faults and faults[0].time <= now + 1e-12:
+                capacity = max(0, capacity - faults.pop(0).cores)
 
-            granted, waiting = self._allocate(active)
+            granted, waiting = self._allocate(active, capacity)
             rates = {}
             for job in active:
                 cores = granted.get(job.name, 0)
@@ -174,16 +208,22 @@ class ReallocationController:
             trace.append(AllocationEvent(
                 time=now, running=dict(granted),
                 waiting=[j.name for j in waiting],
-                cores_used=sum(granted.values())))
+                cores_used=sum(granted.values()),
+                capacity=capacity))
 
-            # Next event: a completion or the next arrival.
+            # Next event: a completion, the next arrival, or a failure.
             horizon = pending[0].arrival if pending else float("inf")
+            if faults:
+                horizon = min(horizon, faults[0].time)
             next_done = float("inf")
             for job in active:
                 if rates[job.name] > 0:
                     next_done = min(next_done, now + job.remaining / rates[job.name])
             if next_done == float("inf") and horizon == float("inf"):
-                raise RuntimeError("no progress: all active jobs starved")
+                raise RuntimeError(
+                    "no progress: all active jobs starved"
+                    + (f" ({self.total_cores - capacity} cores failed)"
+                       if capacity < self.total_cores else ""))
             step_to = min(next_done, horizon)
 
             for job in active:

@@ -44,7 +44,8 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
     def __init__(self, system: "TFlexSystem", proc_id: int,
                  core_ids: list[int], program: Program,
                  name: Optional[str] = None, share_cores: bool = False,
-                 max_inflight: Optional[int] = None) -> None:
+                 max_inflight: Optional[int] = None,
+                 ctx: Optional[int] = None) -> None:
         """Args:
             share_cores: Allow the cores to be shared with other
                 processors (SMT-style multithreading of one
@@ -53,6 +54,10 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
             max_inflight: Cap on in-flight blocks (defaults to the
                 configuration rule: one per core; SMT threads should
                 split the frames, e.g. N/threads each).
+            ctx: Cache/LSQ context tag (defaults to ``proc_id``).  A
+                processor recomposed after a core failure reuses its
+                predecessor's tag so surviving cores' cache lines stay
+                valid and the L2 directory stays coherent.
         """
         if not core_ids:
             raise ValueError("a composed processor needs at least one core")
@@ -66,7 +71,7 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
         #: Observability handle; ``enable_block_trace`` replaces it with
         #: a fork carrying this processor's private trace sink.
         self.obs = system.obs
-        self.ctx = proc_id
+        self.ctx = proc_id if ctx is None else ctx
         self.name = name or f"proc{proc_id}"
         self.program = program
         self.core_ids = list(core_ids)
@@ -118,6 +123,10 @@ class ComposedProcessor(ProtocolMixin, DatapathMixin):
             self.store_sets = None
         self.halted = False
         self.started = False
+        #: True when the processor was halted by :meth:`interrupt`
+        #: (fault recovery) rather than by committing a HALT block or
+        #: reaching ``commit_limit``.
+        self.interrupted = False
         self._last_dealloc = system.queue.now
         self._occupancy_mark = system.queue.now
 

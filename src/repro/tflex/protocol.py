@@ -592,3 +592,18 @@ class ProtocolMixin:
                      blocks_committed=self.stats.blocks_committed,
                      insts_committed=self.stats.insts_committed,
                      mispredictions=self.stats.mispredictions)
+
+    def interrupt(self) -> None:
+        """Abandon all in-flight blocks and halt at the last committed
+        block (fault recovery).
+
+        The halt flush repairs speculative predictor/RAS state exactly
+        as a clean halt does, so architectural state (registers, memory,
+        ``last_commit_next``/``last_commit_ghist``) sits precisely at
+        the last committed block and every transferable structure is
+        architecturally clean.  No-op on an already-halted processor.
+        """
+        if self.halted:
+            return
+        self.interrupted = True
+        self._halt()

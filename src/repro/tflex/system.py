@@ -66,12 +66,19 @@ class TFlexSystem:
 
     def compose(self, core_ids: list[int], program: Program,
                 name: Optional[str] = None, share_cores: bool = False,
-                max_inflight: Optional[int] = None) -> ComposedProcessor:
-        """Aggregate cores into a logical processor running ``program``."""
+                max_inflight: Optional[int] = None,
+                ctx: Optional[int] = None) -> ComposedProcessor:
+        """Aggregate cores into a logical processor running ``program``.
+
+        ``ctx`` overrides the cache/LSQ context tag: a processor
+        re-formed around a failed core passes its predecessor's tag so
+        warm cache lines on surviving cores remain valid (the directory
+        keys lines by ``(ctx, addr)``).
+        """
         proc = ComposedProcessor(self, proc_id=len(self.procs),
                                  core_ids=core_ids, program=program, name=name,
                                  share_cores=share_cores,
-                                 max_inflight=max_inflight)
+                                 max_inflight=max_inflight, ctx=ctx)
         self.procs.append(proc)
         self._unhalted += 1
         # A composition arriving mid-run withdraws any pending stop.

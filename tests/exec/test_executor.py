@@ -252,3 +252,54 @@ class TestRealWorker:
             assert r.payload["result"]["cycles"] > 0
         # Payloads are valid JSON all the way down.
         json.dumps([r.payload for r in results])
+
+
+class TestRetryObservability:
+    """Worker failures are labelled repro.obs metrics, not just log
+    lines: ``exec.retries{reason,bench}`` and ``exec.crashes{bench}``."""
+
+    def _obs(self):
+        from repro.obs import Observability
+
+        return Observability(metrics_enabled=True)
+
+    def test_serial_retry_counts_exceptions(self):
+        obs = self._obs()
+        run_specs(_specs(2), jobs=1, worker=_raise_on_scale_2, obs=obs)
+        # scale=2 raises on both attempts; only the retried one counts.
+        assert obs.metrics.counter("exec.retries", reason="exception",
+                                   bench="conv") == 1
+        assert obs.metrics.counter("exec.crashes", bench="conv") == 0
+
+    def test_parallel_crashes_labelled_per_attempt(self):
+        obs = self._obs()
+        results = run_specs(_specs(1), jobs=2, worker=_crash_worker, obs=obs)
+        assert results[0].status == "failed"
+        # Both attempts crashed; one of them was granted a retry.
+        assert obs.metrics.counter("exec.crashes", bench="conv") == 2
+        assert obs.metrics.counter("exec.retries", reason="crash",
+                                   bench="conv") == 1
+
+    def test_crash_then_success_counts_one_retry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_SENTINEL",
+                           str(tmp_path / "sentinel"))
+        obs = self._obs()
+        results = run_specs(_specs(1), jobs=2, worker=_flaky_worker, obs=obs)
+        assert results[0].status == "ok"
+        assert obs.metrics.counter("exec.crashes", bench="conv") == 1
+        assert obs.metrics.counter("exec.retries", reason="crash",
+                                   bench="conv") == 1
+
+    def test_retry_event_carries_reason(self):
+        from repro.obs import CallbackSink
+
+        obs = self._obs()
+        events = []
+        obs.bus.attach(CallbackSink(events.append, kinds=("job.retry",)))
+        run_specs(_specs(2), jobs=1, worker=_raise_on_scale_2, obs=obs)
+        assert len(events) == 1
+        event = events[0]
+        assert event["reason"] == "exception"
+        assert event["bench"] == "conv"
+        assert event["attempt"] == 1
+        assert "simulated bad configuration" in event["error"]

@@ -126,3 +126,25 @@ class TestRateLimiting:
         assert "[3/3]" in stream.getvalue()
         rep.finish()
         assert stream.getvalue().endswith("\n")
+
+
+class TestRetries:
+    def test_retries_shown_in_line(self):
+        rep = ProgressReporter(total=4, stream=io.StringIO(),
+                               clock=FakeClock())
+        rep.update()
+        assert "retries" not in rep.render()
+        rep.note_retry()
+        rep.note_retry()
+        text = rep.render()
+        assert "retries 2" in text
+        # Retries sit between the failure count and the label.
+        rep.failed = 1
+        assert "failed 1 retries 2" in rep.render(label="conv")
+
+    def test_note_retry_never_advances_completion(self):
+        rep = ProgressReporter(total=2, stream=io.StringIO(),
+                               clock=FakeClock())
+        rep.note_retry()
+        assert rep.done == 0
+        assert "[0/2]" in rep.render()

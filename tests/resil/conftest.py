@@ -1,0 +1,14 @@
+"""Resilience suite fixtures."""
+
+import pytest
+
+import repro.obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Keep the process-global observability bundle inactive between
+    tests (some tests configure metrics and must not leak state)."""
+    repro.obs.reset()
+    yield
+    repro.obs.reset()

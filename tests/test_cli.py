@@ -97,3 +97,97 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "legend" in out
         assert "blocks committed" in out
+
+
+class TestUpFrontValidation:
+    """Bad flag combinations die in argparse with an actionable
+    message, before any simulation starts."""
+
+    def _error(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        return capsys.readouterr().err
+
+    def test_sample_knobs_require_sample(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--sample-ff", "100"])
+        assert "no effect without --sample" in err
+
+    def test_sample_ff_bounds(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--sample",
+                                   "--sample-ff", "0"])
+        assert "--sample-ff must be >= 1" in err
+
+    def test_sample_warmup_vs_window(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--sample",
+                                   "--sample-warmup", "50"])
+        assert "smaller than --sample-window" in err
+
+    def test_inject_bad_grammar(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--inject", "bogus"])
+        assert "not a fault spec" in err
+
+    def test_inject_kill_missing_cycle(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--inject", "kill:2"])
+        assert "missing '@CYCLE'" in err
+
+    def test_inject_requires_tflex(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--machine", "trips",
+                                   "--inject", "dead:0"])
+        assert "--machine trips" in err
+
+    def test_inject_conflicts_with_sample(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--sample",
+                                   "--inject", "dead:0"])
+        assert "cannot combine with --sample" in err
+
+    def test_inject_core_out_of_range(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--cores", "2",
+                                   "--inject", "dead:7"])
+        assert "cores 0..1" in err
+
+    def test_inject_leaving_no_survivor(self, capsys):
+        err = self._error(capsys, ["run", "conv", "--cores", "2",
+                                   "--inject", "dead:0",
+                                   "--inject", "dead:1"])
+        assert "no survivor" in err
+
+    def test_resil_cores_must_be_power_of_two(self, capsys):
+        err = self._error(capsys, ["resil", "--cores", "5"])
+        assert "power of two" in err
+
+    def test_resil_max_dead_bounds(self, capsys):
+        err = self._error(capsys, ["resil", "--max-dead", "0"])
+        assert "--max-dead" in err
+        err = self._error(capsys, ["resil", "--cores", "4",
+                                   "--max-dead", "4"])
+        assert "--max-dead" in err
+
+
+class TestResilCommands:
+    def test_run_with_boot_fault(self, capsys):
+        assert main(["run", "dither", "--cores", "4",
+                     "--inject", "dead:0", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 injected, 0 recoveries, 1 segments" in out
+
+    def test_run_with_kill_reports_recovery(self, capsys):
+        assert main(["run", "conv", "--cores", "4",
+                     "--inject", "kill:0@1500", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 injected, 1 recoveries, 2 segments" in out
+        assert "core 0 died" in out
+
+    def test_resil_writes_curve_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "figR.json"
+        assert main(["resil", "--cores", "4", "--max-dead", "1",
+                     "--bench", "dither", "--out", str(out_path),
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure R" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["dead_counts"] == [0, 1]
+        assert len(payload["curve"]) == 2
+        assert payload["curve"][0]["mean_relative"] == 1.0
