@@ -21,10 +21,12 @@ up front — conflicting or out-of-range ``--sample-*``/``--inject``
 values fail with an actionable message before any simulation starts.
 
 Simulating commands take ``--jobs N`` (parallel workers for cold
-points), ``--cache-dir DIR`` and ``--no-cache`` (the persistent result
-store under ``.repro-cache/`` — see docs/EXECUTION.md), plus
-``--trace-out FILE`` (JSONL event trace) and ``--metrics`` (print the
-metrics registry) — see docs/OBSERVABILITY.md.
+points) with ``--pool/--no-pool`` (warm persistent worker pool vs one
+process per job) and ``--schedule ljf|fifo`` (dispatch order),
+``--cache-dir DIR`` and ``--no-cache`` (the persistent result store
+under ``.repro-cache/`` — see docs/EXECUTION.md), plus ``--trace-out
+FILE`` (JSONL event trace) and ``--metrics`` (print the metrics
+registry) — see docs/OBSERVABILITY.md.
 
 ``run``, ``sweep`` and the fig6-derived figures additionally take
 ``--sample`` (with ``--sample-ff/--sample-window/--sample-warmup``) to
@@ -255,6 +257,17 @@ def _add_exec_flags(sub_parser, jobs: bool = True) -> None:
         sub_parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes for cold simulation points (default 1)")
+        pool_group = sub_parser.add_mutually_exclusive_group()
+        pool_group.add_argument(
+            "--pool", dest="pool", action="store_true", default=True,
+            help="serve jobs from a warm persistent worker pool (default)")
+        pool_group.add_argument(
+            "--no-pool", dest="pool", action="store_false",
+            help="spawn one fresh worker process per job")
+        sub_parser.add_argument(
+            "--schedule", choices=("ljf", "fifo"), default="ljf",
+            help="cold-job dispatch order: longest-job-first from learned "
+                 "duration estimates, or submission order (default ljf)")
     sub_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result store location (default .repro-cache)")
@@ -416,6 +429,16 @@ def _configure_store(args) -> None:
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
 
+def _configure_exec(args) -> None:
+    """Apply --pool/--no-pool/--schedule as process-wide executor
+    defaults; commands without the flags leave them untouched."""
+    if not hasattr(args, "schedule"):
+        return
+    from repro.harness import configure_exec
+
+    configure_exec(pool=args.pool, schedule=args.schedule)
+
+
 def _configure_obs(args) -> None:
     """Apply --trace-out/--metrics by installing the process-global
     observability bundle; commands without the flags leave it alone."""
@@ -471,6 +494,7 @@ def main(argv=None) -> int:
     except OSError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    _configure_exec(args)
     _configure_obs(args)
     try:
         return _dispatch(args)

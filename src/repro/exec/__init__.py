@@ -10,8 +10,14 @@ into three composable pieces:
 * :mod:`repro.exec.store` — :class:`ResultStore`, a content-addressed
   on-disk cache of JSON result records with atomic writes and
   corruption-tolerant reads.
-* :mod:`repro.exec.executor` — :class:`ParallelExecutor`, a
-  multiprocessing fan-out with per-job timeout, one retry on worker
+* :mod:`repro.exec.pool` — :class:`WorkerPool`, persistent warm worker
+  processes served over a request/reply pipe, with a terminate→kill
+  watchdog and transparent respawn.
+* :mod:`repro.exec.sched` — :class:`DurationBook` duration estimates
+  and the longest-job-first dispatch order they feed.
+* :mod:`repro.exec.executor` — :class:`ParallelExecutor`, the fan-out
+  driver (warm pool by default, one-process-per-job fallback) with
+  per-job timeout, duplicate-spec coalescing, one retry on worker
   crash, and a live progress/ETA reporter.
 
 The harness (:mod:`repro.harness.runner`) layers its in-process cache
@@ -21,9 +27,11 @@ instant and ``--jobs N`` parallelises cold sweeps.  See
 """
 
 from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
-from repro.exec.store import ResultStore
+from repro.exec.store import ResultStore, advisory_lock
 from repro.exec.progress import ProgressReporter
-from repro.exec.worker import execute_spec
+from repro.exec.sched import DurationBook, job_family, order_indices
+from repro.exec.worker import execute_spec, pool_worker_main
+from repro.exec.pool import PoolEvent, WorkerPool
 from repro.exec.executor import JobResult, ParallelExecutor, run_specs
 
 __all__ = [
@@ -31,8 +39,15 @@ __all__ = [
     "JobSpec",
     "spec_hash",
     "ResultStore",
+    "advisory_lock",
     "ProgressReporter",
+    "DurationBook",
+    "job_family",
+    "order_indices",
     "execute_spec",
+    "pool_worker_main",
+    "PoolEvent",
+    "WorkerPool",
     "JobResult",
     "ParallelExecutor",
     "run_specs",

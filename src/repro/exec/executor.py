@@ -1,15 +1,26 @@
-"""Parallel job execution over a process pool.
+"""Parallel job execution over worker processes.
 
 The executor fans :class:`~repro.exec.spec.JobSpec` jobs out over at
-most ``jobs`` concurrent worker processes (one process per job, capped
-— the shape of vusec's ``prun`` scheduler), with:
+most ``jobs`` concurrent workers, with:
 
 * a consultation of the :class:`~repro.exec.store.ResultStore` first,
-  so warm jobs never spawn a process;
-* a per-job wall-clock timeout (the process is terminated);
+  so warm jobs never touch a worker;
+* coalescing of equal-hash specs within the batch — one runs, every
+  duplicate receives the same payload;
+* a per-job wall-clock timeout enforced by a terminate→kill watchdog;
 * one retry (configurable) when a worker raises, crashes, or times
   out — a bad job is *reported* failed, it never kills the sweep;
 * optional live progress/ETA reporting.
+
+Two execution backends share those semantics:
+
+* the **warm pool** (default, :mod:`repro.exec.pool`): ``jobs``
+  long-lived workers that import the simulator once and serve specs
+  over a request/reply pipe, with longest-job-first dispatch from
+  learned duration estimates (:mod:`repro.exec.sched`);
+* the **per-job-spawn** path (``pool=False``): one process per job,
+  capped — the shape of vusec's ``prun`` scheduler, kept as the
+  fallback and as the baseline the pool is benchmarked against.
 
 Results come back in input order as :class:`JobResult` records; the
 parent (not the workers) persists successful payloads to the store, so
@@ -20,13 +31,16 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import repro.obs as obs_lib
+from repro.exec.pool import WorkerPool
 from repro.exec.progress import ProgressReporter
-from repro.exec.spec import JobSpec
+from repro.exec.sched import DurationBook, order_indices
+from repro.exec.spec import JobSpec, spec_hash
 from repro.exec.store import ResultStore
 from repro.exec.worker import execute_spec
 
@@ -34,6 +48,12 @@ from repro.exec.worker import execute_spec
 STATUS_OK = "ok"             # simulated this run
 STATUS_CACHED = "cached"     # satisfied from the result store
 STATUS_FAILED = "failed"     # exhausted retries (raise/crash/timeout)
+
+#: The serial (jobs=1) path runs jobs in-process, so there is no worker
+#: to terminate and ``timeout=`` cannot be enforced.  Warned once per
+#: process (plus an ``exec.timeout_unsupported`` metric every run) so
+#: sweeps never *silently* appear bounded.
+_SERIAL_TIMEOUT_WARNED = False
 
 
 def _failure_reason(error: str) -> str:
@@ -90,19 +110,28 @@ class ParallelExecutor:
     """Runs a batch of job specs, in parallel when ``jobs > 1``."""
 
     poll_interval = 0.01    # seconds between scheduler sweeps
+    #: Grace period for the terminate→kill escalation on unresponsive
+    #: workers (both backends) — a worker that ignores SIGTERM is
+    #: SIGKILLed after this many seconds instead of wedging the sweep.
+    grace = 5.0
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
                  retries: int = 1, store: Optional[ResultStore] = None,
                  worker: Callable[[JobSpec], dict] = execute_spec,
                  progress: bool = False,
                  mp_context: Optional[str] = None,
-                 obs: Optional[obs_lib.Observability] = None) -> None:
+                 obs: Optional[obs_lib.Observability] = None,
+                 pool: bool = True, schedule: str = "ljf") -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.store = store
         self.worker = worker
         self.progress = progress
+        #: Warm worker pool (True, default) versus one-process-per-job.
+        self.pool = pool
+        #: Dispatch policy for the pool backend: ``"ljf"`` or ``"fifo"``.
+        self.schedule = schedule
         #: Observability: per-job lifecycle events (``job.*``) plus
         #: ``exec.jobs`` counters and an ``exec.job_seconds`` histogram.
         self.obs = obs if obs is not None else obs_lib.current()
@@ -115,6 +144,8 @@ class ParallelExecutor:
         specs = list(specs)
         results: list[Optional[JobResult]] = [None] * len(specs)
         todo: list[int] = []
+        primary: dict[str, int] = {}        # spec hash -> first cold index
+        coalesced: dict[int, int] = {}      # duplicate index -> primary
         for i, spec in enumerate(specs):
             payload = self.store.load(spec) if self.store is not None else None
             if payload is not None:
@@ -124,8 +155,23 @@ class ParallelExecutor:
                     self.obs.emit("job.cached", bench=spec.bench,
                                   label=spec.label())
                     self.obs.metrics.inc("exec.jobs", status=STATUS_CACHED)
-            else:
-                todo.append(i)
+                continue
+            key = spec_hash(spec)
+            first = primary.get(key)
+            if first is not None:
+                # Equal-hash duplicate within the batch: run it once,
+                # hand the duplicate the primary's payload afterwards.
+                coalesced[i] = first
+                if self.obs.active:
+                    self.obs.emit("job.coalesced", bench=spec.bench,
+                                  label=spec.label(), primary=first)
+                    self.obs.metrics.inc("exec.coalesced")
+                continue
+            primary[key] = i
+            todo.append(i)
+
+        if self.jobs <= 1 and self.timeout is not None and todo:
+            self._warn_serial_timeout()
 
         reporter = (ProgressReporter(total=len(specs))
                     if self.progress and specs else None)
@@ -136,12 +182,34 @@ class ParallelExecutor:
         try:
             if self.jobs <= 1:
                 self._run_serial(specs, todo, results, reporter)
+            elif self.pool:
+                self._run_pooled(specs, todo, results, reporter)
             else:
                 self._run_parallel(specs, todo, results, reporter)
+            for i, first in coalesced.items():
+                outcome = results[first]
+                results[i] = JobResult(
+                    spec=specs[i], status=outcome.status,
+                    payload=outcome.payload, error=outcome.error)
+                if reporter is not None:
+                    reporter.update(label=specs[i].bench,
+                                    ok=outcome.ok, cached=True)
         finally:
             if reporter is not None:
                 reporter.finish()
         return [r for r in results if r is not None]
+
+    def _warn_serial_timeout(self) -> None:
+        global _SERIAL_TIMEOUT_WARNED
+        if self.obs.active:
+            self.obs.metrics.inc("exec.timeout_unsupported")
+        if not _SERIAL_TIMEOUT_WARNED:
+            _SERIAL_TIMEOUT_WARNED = True
+            warnings.warn(
+                f"timeout={self.timeout:g} is not enforced on the serial "
+                f"(jobs=1) path: jobs run in-process and cannot be "
+                f"terminated — use jobs>=2 for a bounded sweep",
+                RuntimeWarning, stacklevel=3)
 
     # -- serial path ---------------------------------------------------
 
@@ -170,7 +238,64 @@ class ParallelExecutor:
             results[i] = self._finish(spec, payload, error, attempts,
                                       time.monotonic() - started, reporter)
 
-    # -- parallel path -------------------------------------------------
+    # -- warm-pool path ------------------------------------------------
+
+    def _run_pooled(self, specs, todo, results, reporter) -> None:
+        """Dispatch over a persistent :class:`WorkerPool`, longest jobs
+        first when the duration book has history (FIFO when cold)."""
+        book = DurationBook.for_store_root(
+            self.store.root if self.store is not None else None)
+        pending = deque(order_indices(specs, todo, book, self.schedule))
+        attempts = {i: 0 for i in todo}
+        started_total = {i: time.monotonic() for i in todo}
+        pool = WorkerPool(size=min(self.jobs, max(1, len(todo))),
+                          worker=self.worker, timeout=self.timeout,
+                          grace=self.grace, mp_context=self._ctx,
+                          obs=self.obs)
+        try:
+            while pending or pool.busy_count():
+                while pending and pool.has_idle():
+                    i = pending.popleft()
+                    attempts[i] += 1
+                    if self.obs.active:
+                        self.obs.emit("job.start", bench=specs[i].bench,
+                                      label=specs[i].label(),
+                                      attempt=attempts[i])
+                    pool.dispatch(i, specs[i])
+                events = pool.poll()
+                for event in events:
+                    i = event.tag
+                    if event.ok:
+                        book.note_spec(specs[i], event.duration)
+                        results[i] = self._finish(
+                            specs[i], event.value, None, attempts[i],
+                            time.monotonic() - started_total[i], reporter)
+                        continue
+                    error = event.value
+                    reason = _failure_reason(error)
+                    if self.obs.active:
+                        if reason == "crash":
+                            self.obs.metrics.inc("exec.crashes",
+                                                 bench=specs[i].bench)
+                        elif reason == "timeout":
+                            self.obs.emit("job.timeout", index=i,
+                                          timeout=self.timeout)
+                            self.obs.metrics.inc("exec.timeouts")
+                    if attempts[i] <= self.retries:
+                        self._note_retry(specs[i], attempts[i], error,
+                                         reporter)
+                        pending.appendleft(i)    # retry before new work
+                    else:
+                        results[i] = self._finish(
+                            specs[i], None, error, attempts[i],
+                            time.monotonic() - started_total[i], reporter)
+                if not events:
+                    time.sleep(self.poll_interval)
+        finally:
+            pool.shutdown()
+            book.flush()
+
+    # -- per-job-spawn path --------------------------------------------
 
     def _run_parallel(self, specs, todo, results, reporter) -> None:
         pending = deque(todo)
@@ -246,7 +371,10 @@ class ParallelExecutor:
                 # is a no-op on an already-exited process, so the real
                 # exit code survives).  Reap it to learn the exit code.
                 act.process.terminate()
-                act.process.join()
+                act.process.join(self.grace)
+                if act.process.is_alive():
+                    act.process.kill()
+                    act.process.join(self.grace)
                 act.outcome = ("error", "worker crashed (exit code "
                                         f"{act.process.exitcode})")
             self._reap(act)
@@ -278,9 +406,17 @@ class ParallelExecutor:
             return True
         return False
 
-    @staticmethod
-    def _reap(act: _Active) -> None:
-        act.process.join()
+    def _reap(self, act: _Active) -> None:
+        """Join a finished-or-terminated worker, escalating to SIGKILL.
+
+        ``terminate()`` is only a *request*: a worker stuck in C code,
+        swapping, or trapping SIGTERM can ignore it, and an unbounded
+        ``join()`` would then stall the whole sweep forever.  Join with
+        a grace period, ``kill()`` (uncatchable), then join again."""
+        act.process.join(self.grace)
+        if act.process.is_alive():
+            act.process.kill()
+            act.process.join(self.grace)
         try:
             act.conn.close()
         except OSError:

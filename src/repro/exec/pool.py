@@ -1,0 +1,346 @@
+"""Persistent warm worker pool: long-lived processes serving many jobs.
+
+The per-job-spawn executor path pays a full process lifecycle — spawn,
+interpreter boot, ``import repro`` (under spawn-type contexts), workload
+build — for *every* job.  A sweep of hundreds of sub-second simulations
+is then dominated by harness overhead, not modelling.  The pool keeps
+``size`` worker processes alive for the whole batch instead:
+
+* each worker imports the simulator stack **once**, and worker-side
+  build caches (decoded workload programs — see
+  :func:`repro.harness.runner.cached_program`) stay hot across jobs;
+* jobs travel over a duplex request/reply pipe
+  (:mod:`repro.exec.worker` documents the message protocol), so a job
+  costs one pickled spec each way instead of a process;
+* a watchdog escalates ``terminate()`` → grace → ``kill()`` on workers
+  that exceed the per-job timeout or stop answering heartbeats, and
+  **transparently respawns** them — a stuck or crashed worker costs one
+  job (reported failed/retried by the executor), never the sweep.
+
+Failure strings mirror the per-job-spawn path exactly ("worker timed
+out after Ns", "worker crashed (exit code N)", "worker pipe broken"),
+so the executor's retry/metric classification is identical on both
+paths.
+
+Observability: ``pool.spawn``/``pool.respawn``/``pool.kill`` events,
+plus ``exec.pool_reuse`` (jobs served by an already-warm worker) and
+``exec.worker_respawns`` counters.  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import repro.obs as obs_lib
+from repro.exec.spec import JobSpec
+from repro.exec.worker import (
+    MSG_JOB,
+    MSG_PING,
+    MSG_SHUTDOWN,
+    REPLY_PONG,
+    REPLY_READY,
+    REPLY_RESULT,
+    execute_spec,
+    pool_worker_main,
+)
+
+
+@dataclass
+class PoolEvent:
+    """One finished job as observed by the pool."""
+
+    tag: object                 # the caller's dispatch tag (job index)
+    ok: bool
+    value: object               # payload dict | error string
+    duration: float             # seconds between dispatch and completion
+    worker: str                 # worker name that served (or lost) it
+
+
+class _PoolWorker:
+    """Parent-side state for one worker slot (respawns in place)."""
+
+    __slots__ = ("slot", "generation", "process", "conn", "tag", "spec",
+                 "dispatched_at", "jobs_done", "last_seen",
+                 "ping_token", "ping_sent_at")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.generation = 0
+        self.process = None
+        self.conn = None
+        self.tag = None             # None = idle
+        self.spec = None
+        self.dispatched_at = 0.0
+        self.jobs_done = 0
+        self.last_seen = 0.0
+        self.ping_token = 0
+        self.ping_sent_at = None    # None = no ping outstanding
+
+    @property
+    def name(self) -> str:
+        return f"repro-pool-{self.slot}.{self.generation}"
+
+    @property
+    def busy(self) -> bool:
+        return self.tag is not None
+
+
+class WorkerPool:
+    """``size`` warm workers behind a dispatch/poll interface.
+
+    The pool is deliberately passive: :meth:`dispatch` hands one job to
+    an idle worker, :meth:`poll` performs one watchdog sweep and
+    returns every job that finished (or was lost) since the last call.
+    Scheduling policy, retries, and result persistence stay in the
+    executor.
+    """
+
+    def __init__(self, size: int,
+                 worker: Callable[[JobSpec], dict] = execute_spec,
+                 timeout: Optional[float] = None,
+                 grace: float = 5.0,
+                 heartbeat_interval: float = 15.0,
+                 heartbeat_grace: float = 10.0,
+                 mp_context=None,
+                 obs: Optional[obs_lib.Observability] = None) -> None:
+        self.size = max(1, int(size))
+        self.worker_fn = worker
+        self.timeout = timeout
+        self.grace = grace
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = heartbeat_grace
+        if mp_context is None or isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._ctx = mp_context
+        self.obs = obs if obs is not None else obs_lib.current()
+        self.respawns = 0
+        self.reused = 0             # jobs served by an already-warm worker
+        self.workers = [_PoolWorker(slot) for slot in range(self.size)]
+        for pw in self.workers:
+            self._spawn(pw)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self, pw: _PoolWorker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=pool_worker_main, args=(child_conn, self.worker_fn),
+            daemon=True, name=pw.name)
+        process.start()
+        child_conn.close()          # the worker holds its end now
+        pw.process = process
+        pw.conn = parent_conn
+        pw.tag = None
+        pw.spec = None
+        pw.jobs_done = 0
+        pw.last_seen = time.monotonic()
+        pw.ping_sent_at = None
+        if self.obs.active:
+            self.obs.emit("pool.spawn", worker=pw.name)
+
+    def _respawn(self, pw: _PoolWorker, reason: str) -> None:
+        self._close_conn(pw)
+        pw.generation += 1
+        self.respawns += 1
+        if self.obs.active:
+            self.obs.emit("pool.respawn", worker=pw.name, reason=reason)
+            self.obs.metrics.inc("exec.worker_respawns", reason=reason)
+        self._spawn(pw)
+
+    def _stop(self, pw: _PoolWorker) -> None:
+        """Terminate → grace → kill → grace.  A worker that ignores
+        SIGTERM (stuck in C code, trapping the signal) is escalated to
+        SIGKILL within one grace period instead of wedging the sweep."""
+        process = pw.process
+        if process is None:
+            return
+        escalated = False
+        if process.is_alive():
+            process.terminate()
+            process.join(self.grace)
+            if process.is_alive():
+                escalated = True
+                process.kill()
+                process.join(self.grace)
+        else:
+            process.join(self.grace)
+        if self.obs.active:
+            self.obs.emit("pool.kill", worker=pw.name, escalated=escalated)
+
+    def _close_conn(self, pw: _PoolWorker) -> None:
+        if pw.conn is not None:
+            try:
+                pw.conn.close()
+            except OSError:
+                pass
+            pw.conn = None
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite shutdown request, then escalation."""
+        for pw in self.workers:
+            if pw.process is None:
+                continue
+            if not pw.busy and pw.process.is_alive():
+                try:
+                    pw.conn.send((MSG_SHUTDOWN,))
+                except (OSError, ValueError):
+                    pass
+                pw.process.join(self.grace)
+            if pw.process.is_alive():
+                self._stop(pw)
+            else:
+                pw.process.join(self.grace)
+            self._close_conn(pw)
+        if self.obs.active:
+            self.obs.emit("pool.stop", respawns=self.respawns,
+                          reused=self.reused)
+
+    # -- dispatch ------------------------------------------------------
+
+    def has_idle(self) -> bool:
+        return any(not pw.busy for pw in self.workers)
+
+    def busy_count(self) -> int:
+        return sum(1 for pw in self.workers if pw.busy)
+
+    def dispatch(self, tag, spec: JobSpec) -> None:
+        """Hand one job to an idle worker (caller checks :meth:`has_idle`)."""
+        pw = next((w for w in self.workers if not w.busy), None)
+        if pw is None:
+            raise RuntimeError("dispatch with no idle worker")
+        for attempt in (0, 1):
+            try:
+                pw.conn.send((MSG_JOB, tag, spec))
+                break
+            except (OSError, ValueError):
+                # The worker died idle; replace it and retry once.
+                self._stop(pw)
+                self._respawn(pw, reason="dispatch")
+                if attempt:
+                    raise
+        warm = pw.jobs_done > 0
+        pw.tag = tag
+        pw.spec = spec
+        pw.dispatched_at = time.monotonic()
+        pw.ping_sent_at = None
+        if warm:
+            self.reused += 1
+        if self.obs.active:
+            self.obs.emit("pool.dispatch", worker=pw.name, bench=spec.bench,
+                          label=spec.label(), warm=warm)
+            if warm:
+                self.obs.metrics.inc("exec.pool_reuse")
+
+    # -- completion / watchdog -----------------------------------------
+
+    def poll(self) -> list[PoolEvent]:
+        """One scheduler sweep: drain replies, enforce the per-job
+        timeout, detect dead or unresponsive workers, respawn losses.
+        Returns the jobs that finished (or failed) during the sweep."""
+        events: list[PoolEvent] = []
+        now = time.monotonic()
+        for pw in self.workers:
+            if self._drain(pw, events, now) is False:
+                continue            # worker was replaced during drain
+            if (pw.busy and self.timeout is not None
+                    and now - pw.dispatched_at > self.timeout):
+                events.append(PoolEvent(
+                    tag=pw.tag, ok=False,
+                    value=f"worker timed out after {self.timeout:g}s",
+                    duration=now - pw.dispatched_at, worker=pw.name))
+                pw.tag = None
+                self._stop(pw)
+                self._respawn(pw, reason="timeout")
+                continue
+            if not pw.process.is_alive():
+                # Drain once more: the worker may have sent its reply
+                # and exited between the drain above and this check.
+                self._drain(pw, events, now)
+                if pw.busy:
+                    pw.process.join(self.grace)
+                    events.append(PoolEvent(
+                        tag=pw.tag, ok=False,
+                        value=(f"worker crashed (exit code "
+                               f"{pw.process.exitcode})"),
+                        duration=now - pw.dispatched_at, worker=pw.name))
+                    pw.tag = None
+                self._respawn(pw, reason="crash")
+                continue
+            if not pw.busy:
+                self._heartbeat(pw, now)
+        return events
+
+    def _drain(self, pw: _PoolWorker, events: list[PoolEvent],
+               now: float) -> bool:
+        """Read every buffered reply from one worker.  Returns False
+        when the pipe died and the worker was replaced."""
+        if pw.conn is None:
+            return True
+        while True:
+            try:
+                if not pw.conn.poll():
+                    return True
+                message = pw.conn.recv()
+            except EOFError:
+                # Clean close without a reply: the worker exited (or is
+                # exiting) — classify by exit code like the spawn path.
+                self._lost(pw, events, now, pipe_broken=False)
+                return False
+            except (OSError, ValueError):
+                # Partial frame or dead descriptor: the transport is
+                # unusable even if the process lives.
+                self._lost(pw, events, now, pipe_broken=True)
+                return False
+            kind = message[0]
+            if kind == REPLY_READY or kind == REPLY_PONG:
+                pw.last_seen = now
+                pw.ping_sent_at = None
+            elif kind == REPLY_RESULT:
+                __, tag, status, value = message
+                if pw.busy and tag == pw.tag:
+                    events.append(PoolEvent(
+                        tag=tag, ok=(status == "ok"), value=value,
+                        duration=now - pw.dispatched_at, worker=pw.name))
+                    pw.tag = None
+                    pw.spec = None
+                    pw.jobs_done += 1
+                    pw.last_seen = now
+
+    def _lost(self, pw: _PoolWorker, events: list[PoolEvent], now: float,
+              pipe_broken: bool) -> None:
+        """The worker's transport died: fail its job (if any), stop the
+        process, and respawn the slot."""
+        was_alive = pw.process.is_alive()
+        self._stop(pw)
+        if pw.busy:
+            if pipe_broken and was_alive:
+                error = "worker pipe broken"
+            else:
+                error = f"worker crashed (exit code {pw.process.exitcode})"
+            events.append(PoolEvent(
+                tag=pw.tag, ok=False, value=error,
+                duration=now - pw.dispatched_at, worker=pw.name))
+            pw.tag = None
+        self._respawn(pw, reason="pipe" if pipe_broken else "crash")
+
+    def _heartbeat(self, pw: _PoolWorker, now: float) -> None:
+        """Idle-worker liveness: ping after a quiet interval; a worker
+        that neither pongs nor dies within the heartbeat grace is
+        wedged — replace it before it eats a job."""
+        if pw.ping_sent_at is not None:
+            if now - pw.ping_sent_at > self.heartbeat_grace:
+                self._stop(pw)
+                self._respawn(pw, reason="heartbeat")
+            return
+        if now - pw.last_seen < self.heartbeat_interval:
+            return
+        pw.ping_token += 1
+        try:
+            pw.conn.send((MSG_PING, pw.ping_token))
+            pw.ping_sent_at = now
+        except (OSError, ValueError):
+            self._stop(pw)
+            self._respawn(pw, reason="pipe")

@@ -11,6 +11,7 @@ an error.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
@@ -18,6 +19,37 @@ import tempfile
 from typing import Iterator, Optional, Union
 
 from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
+
+try:                                    # POSIX advisory locking
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX
+    fcntl = None
+
+
+@contextlib.contextmanager
+def advisory_lock(path: Union[str, pathlib.Path]):
+    """Exclusive advisory file lock (``flock``) on ``path``.
+
+    Serialises read-modify-write sections across *processes* — the
+    store's record writes are individually atomic already, but shared
+    sidecars (the scheduler's duration book) and concurrent CLI
+    invocations pointed at one cache directory need a mutual-exclusion
+    primitive.  Advisory only: readers that never take the lock are
+    unaffected.  On platforms without ``fcntl`` the lock degrades to a
+    no-op (single-writer behaviour is then the caller's problem, which
+    matches the pre-lock state of the world).
+    """
+    if fcntl is None:                   # pragma: no cover - non-POSIX
+        yield
+        return
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a+", encoding="utf-8") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class ResultStore:
@@ -39,6 +71,14 @@ class ResultStore:
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def lock(self):
+        """Advisory cross-process lock scoped to this store's root.
+
+        Record writes are atomic on their own; take this around
+        multi-step read-modify-write sequences (compaction, sidecar
+        maintenance) when several CLI invocations share the cache."""
+        return advisory_lock(self.root / ".lock")
+
     # -- reads ---------------------------------------------------------
 
     def load(self, spec: JobSpec) -> Optional[dict]:
@@ -54,9 +94,16 @@ class ResultStore:
         return record["payload"]
 
     def contains(self, spec: JobSpec) -> bool:
-        """Like :meth:`load` but without touching the hit/miss counters."""
-        record = self._read_record(self.path_for(self.key(spec)))
-        return record is not None and record.get("schema") == self.salt
+        """Like :meth:`load` but without touching the hit/miss counters.
+
+        Applies the *same* validation as :meth:`load` (schema, key
+        echo, payload presence) — a corrupt record that would miss on
+        load must not report "cached" here.
+        """
+        key = self.key(spec)
+        record = self._read_record(self.path_for(key))
+        return (record is not None and record.get("schema") == self.salt
+                and record.get("key") == key and "payload" in record)
 
     @staticmethod
     def _read_record(path: pathlib.Path) -> Optional[dict]:

@@ -1,15 +1,51 @@
 """Worker-side job execution.
 
-:func:`execute_spec` runs one :class:`~repro.exec.spec.JobSpec` to a
-JSON-safe payload dict.  It is a module-level function so it pickles
-cleanly into ``multiprocessing`` children, and it deliberately bypasses
-every cache layer — cache policy (in-process dict, disk store) lives in
-the parent; workers only simulate.
+Two entry points:
+
+* :func:`execute_spec` runs one :class:`~repro.exec.spec.JobSpec` to a
+  JSON-safe payload dict.  It is a module-level function so it pickles
+  cleanly into ``multiprocessing`` children, and it deliberately
+  bypasses every *result* cache layer — result-cache policy
+  (in-process dict, disk store) lives in the parent; workers only
+  simulate.  (Pure build caches — decoded workload programs — stay
+  warm inside the worker process across jobs; see
+  :func:`repro.harness.runner.cached_program`.)
+* :func:`pool_worker_main` is the long-lived warm-pool loop: import
+  once, then serve ``job``/``ping`` requests over a duplex pipe until
+  told to shut down (or the pipe dies).  See :mod:`repro.exec.pool`
+  for the parent side and the protocol invariants.
 """
 
 from __future__ import annotations
 
 from repro.exec.spec import JobSpec
+
+# -- request/reply protocol (parent -> worker | worker -> parent) ------
+#
+# Every message is a plain tuple whose first element is one of these
+# tags.  Requests:   (MSG_JOB, tag, spec) | (MSG_PING, token)
+#                    | (MSG_SHUTDOWN,)
+# Replies:           (REPLY_READY,) once at startup,
+#                    (REPLY_RESULT, tag, "ok"|"error", payload|message),
+#                    (REPLY_PONG, token).
+MSG_JOB = "job"
+MSG_PING = "ping"
+MSG_SHUTDOWN = "shutdown"
+REPLY_READY = "ready"
+REPLY_RESULT = "result"
+REPLY_PONG = "pong"
+
+#: The serving pool worker's request pipe, while :func:`pool_worker_main`
+#: is running.  Lets worker-side code (and fault-injection tests) reach
+#: the transport — e.g. to stream progress, or to simulate a pipe that
+#: breaks mid-send.
+_ACTIVE_CONN = None
+
+
+def current_connection():
+    """The request pipe of the running pool worker, or ``None`` outside
+    :func:`pool_worker_main`."""
+    return _ACTIVE_CONN
 
 
 def execute_spec(spec: JobSpec) -> dict:
@@ -20,3 +56,63 @@ def execute_spec(spec: JobSpec) -> dict:
 
     result = runner.simulate_spec(spec)
     return {"kind": spec.kind, "result": result.to_dict()}
+
+
+def pool_worker_main(conn, worker_fn) -> None:
+    """Serve jobs over ``conn`` until shutdown (the warm-pool body).
+
+    The loop never lets a job exception kill the process: failures are
+    reported as ``("result", tag, "error", message)`` and the worker
+    stays warm for the next job.  Only transport death (pipe closed or
+    unwritable — the parent is gone) or an explicit shutdown request
+    ends the loop.  ``os._exit``/signals still kill the process, which
+    the parent-side watchdog observes as a crash and respawns.
+    """
+    global _ACTIVE_CONN
+    _ACTIVE_CONN = conn
+    try:
+        try:
+            conn.send((REPLY_READY,))
+        except (OSError, ValueError):
+            return
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == MSG_SHUTDOWN:
+                return
+            if kind == MSG_PING:
+                try:
+                    conn.send((REPLY_PONG, message[1]))
+                except (OSError, ValueError):
+                    return
+                continue
+            if kind != MSG_JOB:
+                continue                # unknown request: ignore, stay up
+            tag, spec = message[1], message[2]
+            try:
+                reply = (REPLY_RESULT, tag, "ok", worker_fn(spec))
+            except BaseException as exc:
+                reply = (REPLY_RESULT, tag, "error",
+                         f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(reply)
+            except (OSError, ValueError):
+                return
+            except Exception as exc:
+                # The payload itself would not pickle: report that as
+                # the job's failure instead of dying with a warm cache.
+                try:
+                    conn.send((REPLY_RESULT, tag, "error",
+                               f"worker result not serialisable: "
+                               f"{type(exc).__name__}: {exc}"))
+                except Exception:
+                    return
+    finally:
+        _ACTIVE_CONN = None
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -13,8 +13,10 @@ from repro.harness.runner import (
     RiscResult,
     run_edge_benchmark,
     run_risc_benchmark,
+    cached_program,
     clear_cache,
     configure_cache,
+    configure_exec,
     get_store,
     prewarm_specs,
     resolve_cache_dir,
@@ -39,8 +41,10 @@ __all__ = [
     "RiscResult",
     "run_edge_benchmark",
     "run_risc_benchmark",
+    "cached_program",
     "clear_cache",
     "configure_cache",
+    "configure_exec",
     "get_store",
     "prewarm_specs",
     "resolve_cache_dir",

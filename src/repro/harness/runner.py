@@ -150,10 +150,57 @@ _STORE_UNSET = object()
 _STORE: object = _STORE_UNSET           # lazily resolved ResultStore|None
 _SIM_COUNT = 0                          # simulations run in this process
 
+#: (kind, bench, scale) -> built (program, expected, kernel).  Programs
+#: are read-only during simulation (the simulator copies the data image
+#: into its own memory and decodes blocks into per-composition caches),
+#: so one build serves every configuration of a benchmark — this is the
+#: cache that keeps warm pool workers fast across jobs.
+_PROGRAMS: dict[tuple, tuple] = {}
+_PROGRAM_CAP = 32                       # builds are cheap; bound the rss
+
+#: Executor defaults the CLI configures once per invocation
+#: (``--pool/--no-pool``, ``--schedule``); drivers and
+#: :func:`prewarm_specs` pick them up so the flags reach every sweep
+#: without threading two extra parameters through each figure driver.
+_EXEC_OPTIONS = {"pool": True, "schedule": "ljf"}
+
+
+def configure_exec(pool: Optional[bool] = None,
+                   schedule: Optional[str] = None) -> dict:
+    """Set process-wide executor defaults; returns the active options."""
+    if pool is not None:
+        _EXEC_OPTIONS["pool"] = bool(pool)
+    if schedule is not None:
+        from repro.exec.sched import POLICIES
+
+        if schedule not in POLICIES:
+            raise ValueError(f"unknown schedule policy {schedule!r}; "
+                             f"expected one of {POLICIES}")
+        _EXEC_OPTIONS["schedule"] = schedule
+    return dict(_EXEC_OPTIONS)
+
+
+def cached_program(kind: str, bench: str, scale: int) -> tuple:
+    """The built ``(program, expected, kernel)`` for one benchmark,
+    memoized per process — in a warm pool worker this is what keeps
+    decoded workload programs hot across jobs."""
+    key = (kind, bench, scale)
+    entry = _PROGRAMS.get(key)
+    if entry is None:
+        benchmark = BENCHMARKS[bench]
+        entry = (benchmark.edge_program(scale) if kind == "edge"
+                 else benchmark.risc_program(scale))
+        while len(_PROGRAMS) >= _PROGRAM_CAP:
+            _PROGRAMS.pop(next(iter(_PROGRAMS)))
+        _PROGRAMS[key] = entry
+    return entry
+
 
 def clear_cache() -> None:
-    """Drop the in-process result cache (the disk store is untouched)."""
+    """Drop the in-process result and program caches (the disk store is
+    untouched)."""
     _CACHE.clear()
+    _PROGRAMS.clear()
 
 
 def configure_cache(cache_dir: Union[str, pathlib.Path, None] = None,
@@ -244,8 +291,8 @@ def _simulate_edge(spec: JobSpec) -> RunResult:
 
         return run_sampled(spec)
 
-    benchmark = BENCHMARKS[spec.bench]
-    program, expected, kernel = benchmark.edge_program(spec.scale)
+    program, expected, kernel = cached_program("edge", spec.bench,
+                                               spec.scale)
     cfg, ncores = build_edge_config(spec)
 
     system = TFlexSystem(cfg)
@@ -267,8 +314,8 @@ def _simulate_edge(spec: JobSpec) -> RunResult:
 
 
 def _simulate_risc(spec: JobSpec) -> RiscResult:
-    benchmark = BENCHMARKS[spec.bench]
-    program, expected, kernel = benchmark.risc_program(spec.scale)
+    program, expected, kernel = cached_program("risc", spec.bench,
+                                               spec.scale)
     stats, interp = OoOCore().run(program)
     if spec.verify:
         verify_edge_run(kernel, interp.mem, expected)
@@ -320,18 +367,28 @@ def run_spec(spec: JobSpec):
 
 def prewarm_specs(specs: Sequence[JobSpec], jobs: int = 1,
                   timeout: Optional[float] = None,
-                  progress: bool = False) -> list:
+                  progress: bool = False,
+                  pool: Optional[bool] = None,
+                  schedule: Optional[str] = None) -> list:
     """Fan a batch of specs out over worker processes, loading every
     success into the in-process cache (and the store, if enabled).
+
+    ``pool``/``schedule`` default to the process-wide options set by
+    :func:`configure_exec` (warm pool, longest-job-first).
 
     Failed jobs are reported in the returned
     :class:`~repro.exec.executor.JobResult` list but do not raise —
     a later :func:`run_spec` for that point falls back to in-process
     simulation.
     """
+    if pool is None:
+        pool = _EXEC_OPTIONS["pool"]
+    if schedule is None:
+        schedule = _EXEC_OPTIONS["schedule"]
     cold = [s for s in specs if spec_hash(s) not in _CACHE]
     outcomes = run_specs(cold, jobs=jobs, timeout=timeout,
-                         store=get_store(), progress=progress)
+                         store=get_store(), progress=progress,
+                         pool=pool, schedule=schedule)
     for outcome in outcomes:
         if outcome.ok and outcome.payload is not None:
             _CACHE[spec_hash(outcome.spec)] = _result_from_payload(

@@ -37,6 +37,14 @@ def _sleep_worker(spec):
     return _ok_worker(spec)
 
 
+def _counting_worker(spec):
+    """Leave one uniquely-named breadcrumb file per execution, so tests
+    can count how many times work actually ran across processes."""
+    trail = pathlib.Path(os.environ["REPRO_TEST_COUNT_DIR"])
+    (trail / f"{os.getpid()}-{time.monotonic_ns()}").write_text(spec.bench)
+    return _ok_worker(spec)
+
+
 def _flaky_worker(spec):
     """Crash on the first attempt, succeed on the retry (state shared
     through a sentinel file named by the test via the environment)."""
@@ -47,29 +55,34 @@ def _flaky_worker(spec):
     return _ok_worker(spec)
 
 
+@pytest.mark.parametrize("pool", [True, False],
+                         ids=["warm-pool", "per-job-spawn"])
 class TestPoolSemantics:
-    def test_parallel_matches_serial(self):
+    """Both parallel backends must be observationally identical to the
+    serial path (the pool is an optimisation, never a semantic)."""
+
+    def test_parallel_matches_serial(self, pool):
         specs = _specs(6)
         serial = run_specs(specs, jobs=1, worker=_ok_worker)
-        parallel = run_specs(specs, jobs=2, worker=_ok_worker)
+        parallel = run_specs(specs, jobs=2, worker=_ok_worker, pool=pool)
         assert [r.payload for r in serial] == [r.payload for r in parallel]
         assert all(r.status == "ok" for r in parallel)
         # Input order is preserved regardless of completion order.
         assert [r.spec for r in parallel] == specs
 
-    def test_byte_identical_records(self, tmp_path):
+    def test_byte_identical_records(self, tmp_path, pool):
         specs = _specs(5)
         store1 = ResultStore(tmp_path / "serial")
         store2 = ResultStore(tmp_path / "parallel")
         run_specs(specs, jobs=1, worker=_ok_worker, store=store1)
-        run_specs(specs, jobs=2, worker=_ok_worker, store=store2)
+        run_specs(specs, jobs=2, worker=_ok_worker, store=store2, pool=pool)
         for spec in specs:
             a = store1.path_for(store1.key(spec)).read_bytes()
             b = store2.path_for(store2.key(spec)).read_bytes()
             assert a == b
 
-    def test_more_jobs_than_specs(self):
-        results = run_specs(_specs(2), jobs=8, worker=_ok_worker)
+    def test_more_jobs_than_specs(self, pool):
+        results = run_specs(_specs(2), jobs=8, worker=_ok_worker, pool=pool)
         assert [r.status for r in results] == ["ok", "ok"]
 
 
@@ -130,7 +143,7 @@ class _BrokenConn:
 
 
 class _StubProcess:
-    """Live-looking process we must not wait on."""
+    """Live-looking process we must not wait on before terminating."""
 
     exitcode = None
 
@@ -140,11 +153,14 @@ class _StubProcess:
     def terminate(self):
         self.terminated = True
 
-    def join(self):
+    def kill(self):
+        self.terminated = True
+
+    def join(self, timeout=None):
         assert self.terminated, "joined a live worker with a dead pipe"
 
     def is_alive(self):
-        return True
+        return not self.terminated
 
 
 class TestBrokenPipe:
@@ -194,7 +210,10 @@ class _DeadProcess:
     def terminate(self):
         pass
 
-    def join(self):
+    def kill(self):
+        pass
+
+    def join(self, timeout=None):
         pass
 
 
@@ -216,6 +235,87 @@ class TestSendExitRace:
                       conn=_LaggedConn(recv), started=time.monotonic())
         assert executor._settle(act) is True
         assert act.outcome == ("ok", {"value": 42})
+
+
+@pytest.mark.parametrize("jobs,pool", [(1, True), (2, True), (2, False)],
+                         ids=["serial", "warm-pool", "per-job-spawn"])
+class TestCoalescing:
+    """Equal-hash duplicates within one batch run once; every duplicate
+    receives the primary's payload (regression: each used to simulate —
+    or worse, race two writers onto one store record)."""
+
+    def test_duplicates_run_once(self, tmp_path, monkeypatch, jobs, pool):
+        monkeypatch.setenv("REPRO_TEST_COUNT_DIR", str(tmp_path))
+        spec = JobSpec.edge("conv", ncores=2, scale=1)
+        other = JobSpec.edge("conv", ncores=2, scale=2)
+        results = run_specs([spec, other, spec, spec], jobs=jobs, pool=pool,
+                            worker=_counting_worker)
+        assert [r.status for r in results] == ["ok"] * 4
+        assert results[0].payload == results[2].payload == results[3].payload
+        assert len(list(tmp_path.iterdir())) == 2    # two unique hashes
+
+    def test_duplicate_shares_failure_too(self, jobs, pool):
+        bad = _specs(4)[1]                           # scale=2: raises
+        results = run_specs([bad, bad], jobs=jobs, pool=pool, retries=0,
+                            worker=_raise_on_scale_2)
+        assert [r.status for r in results] == ["failed", "failed"]
+        assert results[1].error == results[0].error
+
+    def test_coalesced_metric_counts_duplicates(self, jobs, pool):
+        from repro.obs import Observability
+
+        obs = Observability(metrics_enabled=True)
+        spec = JobSpec.edge("conv", ncores=2, scale=1)
+        run_specs([spec, spec, spec], jobs=jobs, pool=pool,
+                  worker=_ok_worker, obs=obs)
+        assert obs.metrics.counter("exec.coalesced") == 2
+        # Only the primary counts as an executed job.
+        assert obs.metrics.counter("exec.jobs", status="ok") == 1
+
+
+class TestSerialTimeoutWarning:
+    """jobs=1 runs in-process, so timeout= cannot be enforced — that
+    must be *loud* (regression: it was silently ignored)."""
+
+    def _fresh_warning_state(self, monkeypatch):
+        from repro.exec import executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "_SERIAL_TIMEOUT_WARNED", False)
+
+    def test_warns_once_and_counts_metric(self, monkeypatch):
+        from repro.obs import Observability
+
+        self._fresh_warning_state(monkeypatch)
+        obs = Observability(metrics_enabled=True)
+        with pytest.warns(RuntimeWarning, match="jobs=1"):
+            run_specs(_specs(1), jobs=1, timeout=5.0, worker=_ok_worker,
+                      obs=obs)
+        assert obs.metrics.counter("exec.timeout_unsupported") == 1
+        # The warning fires once per process; the metric, every run.
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            run_specs(_specs(1), jobs=1, timeout=5.0, worker=_ok_worker,
+                      obs=obs)
+        assert obs.metrics.counter("exec.timeout_unsupported") == 2
+
+    def test_no_warning_without_timeout_or_work(self, monkeypatch):
+        import warnings as warnings_mod
+
+        self._fresh_warning_state(monkeypatch)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            run_specs(_specs(1), jobs=1, worker=_ok_worker)      # no timeout
+            run_specs([], jobs=1, timeout=1.0, worker=_ok_worker)  # no work
+
+    def test_parallel_paths_do_not_warn(self, monkeypatch):
+        import warnings as warnings_mod
+
+        self._fresh_warning_state(monkeypatch)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            run_specs(_specs(1), jobs=2, timeout=30.0, worker=_ok_worker)
 
 
 class TestStoreIntegration:

@@ -1,0 +1,147 @@
+"""Adaptive scheduling: job families, the duration book, LJF ordering."""
+
+import json
+
+import pytest
+
+from repro.exec import JobSpec
+from repro.exec.sched import (
+    BOOK_NAME,
+    BOOK_SCHEMA,
+    EWMA_ALPHA,
+    DurationBook,
+    job_family,
+    order_indices,
+)
+
+
+class TestJobFamily:
+    def test_edge_family_carries_machine_and_scale(self):
+        assert job_family(JobSpec.edge("conv", ncores=4)) == "conv|tflex4|x1"
+        assert (job_family(JobSpec.edge("gzip", ncores=16, scale=3))
+                == "gzip|tflex16|x3")
+
+    def test_trips_and_risc_are_distinct_machines(self):
+        assert job_family(JobSpec.edge("conv", trips=True)) == "conv|trips|x1"
+        assert job_family(JobSpec.risc("conv")) == "conv|risc|x1"
+
+    def test_mode_tags(self):
+        sampled = JobSpec.edge("conv", ncores=4,
+                               sampling={"ff_blocks": 100})
+        assert job_family(sampled).endswith("+sampled")
+        faulty = JobSpec.edge("conv", ncores=4, faults=("dead:3",))
+        assert job_family(faulty).endswith("+faults")
+
+    def test_overrides_fold_into_one_family(self):
+        base = JobSpec.edge("conv", ncores=4)
+        ablated = JobSpec.edge("conv", ncores=4,
+                               overrides={"l2_hit_cycles": 9})
+        assert job_family(base) == job_family(ablated)
+
+
+class TestDurationBook:
+    def test_first_observation_is_the_estimate(self):
+        book = DurationBook()
+        assert book.estimate("f") is None
+        book.note("f", 2.0)
+        assert book.estimate("f") == 2.0
+
+    def test_ewma_update(self):
+        book = DurationBook()
+        book.note("f", 2.0)
+        book.note("f", 4.0)
+        expected = EWMA_ALPHA * 4.0 + (1 - EWMA_ALPHA) * 2.0
+        assert book.estimate("f") == pytest.approx(expected)
+
+    def test_negative_durations_clamped(self):
+        book = DurationBook()
+        book.note("f", -1.0)
+        assert book.estimate("f") == 0.0
+
+    def test_flush_roundtrip(self, tmp_path):
+        path = tmp_path / BOOK_NAME
+        book = DurationBook(path)
+        book.note("conv|tflex4|x1", 1.5)
+        book.flush()
+        again = DurationBook(path)
+        assert again.estimate("conv|tflex4|x1") == 1.5
+        data = json.loads(path.read_text())
+        assert data["schema"] == BOOK_SCHEMA
+
+    def test_flush_merges_concurrent_sessions(self, tmp_path):
+        """Two invocations sharing one cache dir: each flushes only the
+        families it ran; neither shreds the other's estimates."""
+        path = tmp_path / BOOK_NAME
+        a = DurationBook(path)
+        b = DurationBook(path)
+        a.note("fam.a", 1.0)
+        b.note("fam.b", 2.0)
+        a.flush()
+        b.flush()           # b never saw fam.a — the merge keeps it
+        merged = DurationBook(path)
+        assert merged.estimate("fam.a") == 1.0
+        assert merged.estimate("fam.b") == 2.0
+
+    def test_corrupt_sidecar_reads_cold(self, tmp_path):
+        path = tmp_path / BOOK_NAME
+        path.write_text("{not json")
+        assert len(DurationBook(path)) == 0
+        path.write_text(json.dumps({"schema": 999, "families": {"f": 1}}))
+        assert len(DurationBook(path)) == 0
+
+    def test_flush_without_observations_writes_nothing(self, tmp_path):
+        path = tmp_path / BOOK_NAME
+        DurationBook(path).flush()
+        assert not path.exists()
+
+    def test_for_store_root(self, tmp_path):
+        book = DurationBook.for_store_root(tmp_path)
+        assert book.path == tmp_path / BOOK_NAME
+        assert DurationBook.for_store_root(None).path is None
+
+    def test_note_spec_uses_family(self):
+        book = DurationBook()
+        spec = JobSpec.edge("conv", ncores=4)
+        book.note_spec(spec, 3.0)
+        assert book.estimate_for(spec) == 3.0
+
+
+class TestOrderIndices:
+    def _specs(self):
+        return [JobSpec.edge("conv", ncores=2, scale=i + 1)
+                for i in range(4)]
+
+    def test_fifo_keeps_input_order(self):
+        specs = self._specs()
+        book = DurationBook()
+        book.note_spec(specs[0], 100.0)
+        assert order_indices(specs, [0, 1, 2, 3], book, "fifo") == [0, 1, 2, 3]
+
+    def test_cold_book_degrades_to_fifo(self):
+        specs = self._specs()
+        assert order_indices(specs, [2, 0, 1], DurationBook(),
+                             "ljf") == [2, 0, 1]
+        assert order_indices(specs, [2, 0, 1], None, "ljf") == [2, 0, 1]
+
+    def test_ljf_fronts_longest_known(self):
+        specs = self._specs()
+        book = DurationBook()
+        book.note_spec(specs[0], 1.0)
+        book.note_spec(specs[1], 5.0)
+        book.note_spec(specs[2], 3.0)
+        book.note_spec(specs[3], 9.0)
+        assert order_indices(specs, [0, 1, 2, 3], book, "ljf") == [3, 1, 2, 0]
+
+    def test_unknown_families_run_first_in_input_order(self):
+        """An unseen job may be the longest of all: dispatch it before
+        the known ones so a misestimate cannot serialise the tail."""
+        specs = self._specs()
+        book = DurationBook()
+        book.note_spec(specs[1], 5.0)
+        book.note_spec(specs[2], 1.0)
+        order = order_indices(specs, [0, 1, 2, 3], book, "ljf")
+        assert order == [0, 3, 1, 2]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            order_indices(self._specs(), [0], DurationBook(), "random")

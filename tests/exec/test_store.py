@@ -76,6 +76,106 @@ class TestCorruptionTolerance:
         assert store.load(SPEC) == PAYLOAD
 
 
+class TestContains:
+    """``contains`` must apply the same validation as ``load`` — a
+    record that would miss on load must not report "cached" here
+    (regression: it used to check only that the file parsed)."""
+
+    def test_contains_matches_load_on_valid_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(SPEC)
+        store.store(SPEC, PAYLOAD)
+        assert store.contains(SPEC)
+
+    def test_corrupt_record_is_not_contained(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        path.write_text("{not json")
+        assert not store.contains(SPEC)
+
+    def test_wrong_schema_is_not_contained(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        record = json.loads(path.read_text())
+        record["schema"] = 999
+        path.write_text(json.dumps(record))
+        assert not store.contains(SPEC)
+
+    def test_wrong_key_echo_is_not_contained(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        record = json.loads(path.read_text())
+        record["key"] = "0" * 64
+        path.write_text(json.dumps(record))
+        assert not store.contains(SPEC)
+
+    def test_missing_payload_is_not_contained(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.store(SPEC, PAYLOAD)
+        record = json.loads(path.read_text())
+        del record["payload"]
+        path.write_text(json.dumps(record))
+        assert not store.contains(SPEC)
+
+    def test_contains_does_not_touch_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(SPEC, PAYLOAD)
+        store.contains(SPEC)
+        assert store.counters() == {"hits": 0, "misses": 0, "writes": 1}
+
+
+class TestAdvisoryLock:
+    def test_lock_excludes_across_processes(self, tmp_path):
+        """A child holding the store lock blocks the parent's acquire
+        until released (flock is per-open-file, so the contention has
+        to cross a process boundary to be observable)."""
+        import multiprocessing
+        import time
+
+        from repro.exec import advisory_lock
+
+        lock_path = tmp_path / ".lock"
+        ctx = multiprocessing.get_context()
+        acquired = ctx.Event()
+        release = ctx.Event()
+        child = ctx.Process(target=_hold_lock,
+                            args=(str(lock_path), acquired, release))
+        child.start()
+        try:
+            assert acquired.wait(10)
+            started = time.monotonic()
+            release_after = 0.3
+            _release_later(release, release_after)
+            with advisory_lock(lock_path):
+                waited = time.monotonic() - started
+            assert waited >= release_after * 0.5
+        finally:
+            release.set()
+            child.join(10)
+
+    def test_lock_is_reentrant_across_calls(self, tmp_path):
+        from repro.exec import advisory_lock
+
+        with advisory_lock(tmp_path / ".lock"):
+            pass
+        with advisory_lock(tmp_path / ".lock"):
+            pass
+
+
+def _hold_lock(path, acquired, release):
+    from repro.exec import advisory_lock
+
+    with advisory_lock(path):
+        acquired.set()
+        release.wait(30)
+
+
+def _release_later(event, delay):
+    import threading
+
+    threading.Timer(delay, event.set).start()
+
+
 class TestInvalidation:
     def test_salt_change_invalidates(self, tmp_path):
         old = ResultStore(tmp_path, salt=1)
