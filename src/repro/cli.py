@@ -11,6 +11,10 @@ Commands:
   ``--bench NAME`` (repeatable) restricts the suite.
 * ``resil`` — the dead-core degradation sweep (figure R); ``--out``
   writes the curve as JSON.  See docs/RESILIENCE.md.
+* ``search`` — per-application BEST-composition search by successive
+  halving over fidelity tiers (``--objective speedup|perf_per_area|
+  perf2_per_watt|all``); ``--out`` writes the BEST line plus the
+  detailed-work accounting as JSON.  See docs/SEARCH.md.
 * ``disasm BENCH`` — print the compiled EDGE hyperblocks.
 * ``profile BENCH`` — wall-clock phase profile of one simulation.
 
@@ -202,6 +206,30 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_search(args) -> int:
+    import json
+
+    from repro.harness import fig_best
+    from repro.search import HalvingConfig
+    from repro.search.objective import OBJECTIVE_NAMES
+
+    wanted = args.objectives or ["all"]
+    if "all" in wanted:
+        wanted = list(OBJECTIVE_NAMES)
+    config = HalvingConfig(eta=args.eta, seed=args.seed,
+                           max_candidates=args.max_candidates)
+    result = fig_best(objectives=wanted, scale=args.scale,
+                      benchmarks=args.benchmarks, jobs=args.jobs,
+                      progress=args.jobs > 1, config=config)
+    print(result.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            json.dump(result.payload(), sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"search result written to {args.out}")
+    return 0
+
+
 def _cmd_resil(args) -> int:
     import json
 
@@ -329,6 +357,34 @@ def build_parser() -> argparse.ArgumentParser:
                         default="tflex")
     prof_p.add_argument("--scale", type=int, default=1)
 
+    from repro.search.objective import OBJECTIVE_NAMES
+
+    search_p = sub.add_parser(
+        "search", help="BEST-composition search (successive halving)")
+    search_p.add_argument(
+        "--objective", action="append", dest="objectives",
+        choices=OBJECTIVE_NAMES + ("all",), metavar="NAME",
+        help=f"objective to maximize: one of {', '.join(OBJECTIVE_NAMES)} "
+             f"or all (repeatable; default all)")
+    search_p.add_argument("--scale", type=int, default=1)
+    search_p.add_argument("--bench", action="append", dest="benchmarks",
+                          metavar="NAME",
+                          help="restrict the search to this benchmark "
+                               "(repeatable; default: the full suite)")
+    search_p.add_argument("--eta", type=int, default=2,
+                          help="promotion factor: each rung keeps the top "
+                               "1/eta fraction of candidates (default 2)")
+    search_p.add_argument("--seed", type=int, default=2007,
+                          help="seed for the (optional) candidate subsample")
+    search_p.add_argument("--max-candidates", type=int, default=None,
+                          metavar="N",
+                          help="deterministically subsample the space down "
+                               "to N candidates before rung 0")
+    search_p.add_argument("--out", default=None, metavar="FILE",
+                          help="write the BEST line and work accounting "
+                               "as JSON")
+    _add_exec_flags(search_p)
+
     resil_p = sub.add_parser(
         "resil", help="dead-core degradation sweep (figure R)")
     resil_p.add_argument("--cores", type=int, default=16,
@@ -406,6 +462,14 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
         except ValueError as exc:
             parser.error(f"--inject: {exc}")
 
+    if args.command == "search":
+        if args.eta < 2:
+            parser.error(f"--eta must be >= 2 (each rung has to eliminate "
+                         f"something), got {args.eta}")
+        if args.max_candidates is not None and args.max_candidates < 1:
+            parser.error(f"--max-candidates must be >= 1, "
+                         f"got {args.max_candidates}")
+
     if args.command == "resil":
         from repro.tflex.placement import SHAPES
 
@@ -482,6 +546,8 @@ def _dispatch(args) -> int:
         return _cmd_profile(args)
     if args.command == "resil":
         return _cmd_resil(args)
+    if args.command == "search":
+        return _cmd_search(args)
     return _cmd_figure(args)
 
 

@@ -67,7 +67,12 @@ def job_family(spec: JobSpec) -> str:
         machine = f"tflex{spec.ncores}"
     tags = ""
     if spec.sampling:
-        tags += "+sampled"
+        # Fidelity matters: a coarse search rung (long fast-forwards)
+        # and an accuracy-oriented run differ by integer factors, so
+        # the fast-forward length joins the key.  Window/warmup shifts
+        # move runtime by percents, not factors — folded together.
+        ff = spec.sampling_dict().get("ff_blocks")
+        tags += f"+sampled{ff}" if ff else "+sampled"
     if spec.faults:
         tags += "+faults"
     return f"{spec.bench}|{machine}|x{spec.scale}{tags}"

@@ -23,6 +23,7 @@ from repro.harness.runner import (
     simulation_count,
 )
 from repro.harness.experiments import (
+    FigBestResult,
     fig5_baseline,
     fig6_performance,
     fig6_specs,
@@ -30,6 +31,7 @@ from repro.harness.experiments import (
     fig8_power,
     fig9_protocols,
     fig10_multiprogramming,
+    fig_best,
     figR_degradation,
     figR_specs,
     table2_area_power,
@@ -49,9 +51,11 @@ __all__ = [
     "prewarm_specs",
     "resolve_cache_dir",
     "simulation_count",
+    "FigBestResult",
     "fig5_baseline",
     "fig6_performance",
     "fig6_specs",
+    "fig_best",
     "fig7_area",
     "fig8_power",
     "fig9_protocols",

@@ -513,6 +513,110 @@ def fig10_multiprogramming(fig6: Fig6Result,
 
 
 # ----------------------------------------------------------------------
+# Figure BEST: per-application BEST composition via halving search
+# ----------------------------------------------------------------------
+
+@dataclass
+class FigBestResult:
+    """The BEST lines of figures 6-8, found by successive-halving search
+    instead of the exhaustive detailed sweep (see docs/SEARCH.md)."""
+
+    scale: int
+    core_counts: tuple[int, ...]
+    benchmarks: list[str]
+    #: objective name -> the search trail that found its BEST line.
+    searches: dict[str, "object"]
+
+    def objectives(self) -> list[str]:
+        return list(self.searches)
+
+    def best_labels(self, objective: str) -> dict[str, str]:
+        return self.searches[objective].best_labels()
+
+    def best_ncores(self, objective: str) -> dict[str, int]:
+        return self.searches[objective].best_ncores()
+
+    def detailed_jobs(self, objective: Optional[str] = None) -> int:
+        """Detailed-simulation jobs one search needed (or all, summed —
+        cross-objective cache sharing makes the *executed* number lower
+        still, but the per-search count is the honest accounting)."""
+        if objective is not None:
+            return self.searches[objective].detailed_jobs()
+        return sum(s.detailed_jobs() for s in self.searches.values())
+
+    def exhaustive_detailed_jobs(self) -> int:
+        """Detailed jobs the exhaustive sweep runs for the same BEST
+        line: every composition of every benchmark."""
+        return len(self.benchmarks) * len(self.core_counts)
+
+    def detail_reduction(self, objective: str) -> float:
+        return self.searches[objective].detail_reduction()
+
+    def payload(self) -> dict:
+        """JSON form (the CLI's ``--out`` artifact)."""
+        return {
+            "scale": self.scale,
+            "core_counts": list(self.core_counts),
+            "benchmarks": list(self.benchmarks),
+            "exhaustive_detailed_jobs": self.exhaustive_detailed_jobs(),
+            "objectives": {
+                name: {
+                    "best": {b: r.best.ncores
+                             for b, r in search.per_bench.items()},
+                    "detailed_jobs": search.detailed_jobs(),
+                    "detail_reduction_x": search.detail_reduction(),
+                    "evaluations": search.total_evaluations(),
+                }
+                for name, search in self.searches.items()
+            },
+        }
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [f"BEST@{o}" for o in self.searches]
+        rows = []
+        for bench in self.benchmarks:
+            rows.append([bench] + [
+                self.searches[o].per_bench[bench].best.ncores
+                for o in self.searches])
+        table = format_table(
+            headers, rows,
+            title="Figure BEST: per-application best composition "
+                  "(cores) by objective")
+        lines = [table, ""]
+        for name, search in self.searches.items():
+            lines.append(f"{name}: {search.detailed_jobs()} detailed jobs "
+                         f"vs {search.exhaustive_detailed_jobs()} exhaustive "
+                         f"({search.detail_reduction():.1f}x fewer)")
+        return "\n".join(lines)
+
+
+def fig_best(objectives: Optional[Sequence[str]] = None,
+             scale: int = 1,
+             core_counts: Sequence[int] = CORE_COUNTS,
+             benchmarks: Optional[Sequence[str]] = None,
+             jobs: int = 1, progress: bool = False,
+             config=None) -> FigBestResult:
+    """Find the per-application BEST composition for each objective by
+    successive halving (``repro search`` on the CLI).
+
+    All objectives share one result cache: a candidate two searches
+    both evaluate at the same fidelity simulates once.
+    """
+    from repro.search import OBJECTIVE_NAMES, default_space, search_best
+
+    names = _suite(benchmarks)
+    wanted = list(objectives) if objectives else list(OBJECTIVE_NAMES)
+    space = default_space(names, core_counts=core_counts, scale=scale)
+    searches = {
+        objective: search_best(space, objective, config=config,
+                               jobs=jobs, progress=progress)
+        for objective in wanted
+    }
+    return FigBestResult(scale=scale, core_counts=tuple(core_counts),
+                         benchmarks=names, searches=searches)
+
+
+# ----------------------------------------------------------------------
 # Table 2: area and average power breakdown
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""``repro.search`` — BEST-composition design-space search.
+
+The paper's headline curves (figures 6-8) hinge on the per-application
+**BEST** composition: the core count maximizing speedup, perf/area, or
+perf^2/W for each benchmark.  This package finds BEST without paying
+for the exhaustive detailed sweep, by **successive halving over
+fidelity tiers**: cheap sampled simulation ranks the whole candidate
+set, each rung promotes the top fraction to higher fidelity, and only
+the final (full-detail) rung decides the argmax.
+
+* :mod:`repro.search.space` — :class:`SearchSpace` / :class:`Candidate`:
+  the explicit candidate set, resolving to ordinary job specs.
+* :mod:`repro.search.objective` — the three BEST objectives, shared
+  with the figure drivers' models.
+* :mod:`repro.search.halving` — the halving engine, its fidelity
+  ladder, and the per-benchmark :class:`SearchResult` trail.
+
+Entry points: ``repro search`` on the CLI, or
+:func:`repro.harness.fig_best` for the figure-style driver.  See
+docs/SEARCH.md.
+"""
+
+from repro.search.space import (
+    DEFAULT_CORE_COUNTS,
+    Candidate,
+    SearchSpace,
+    default_space,
+)
+from repro.search.objective import (
+    OBJECTIVE_NAMES,
+    OBJECTIVES,
+    Objective,
+    get_objective,
+)
+from repro.search.halving import (
+    COARSE_SAMPLING,
+    DEFAULT_LADDER,
+    FINE_SAMPLING,
+    BenchSearchResult,
+    FidelityTier,
+    HalvingConfig,
+    RungReport,
+    SearchResult,
+    search_best,
+)
+
+__all__ = [
+    "DEFAULT_CORE_COUNTS",
+    "Candidate",
+    "SearchSpace",
+    "default_space",
+    "OBJECTIVE_NAMES",
+    "OBJECTIVES",
+    "Objective",
+    "get_objective",
+    "COARSE_SAMPLING",
+    "DEFAULT_LADDER",
+    "FINE_SAMPLING",
+    "BenchSearchResult",
+    "FidelityTier",
+    "HalvingConfig",
+    "RungReport",
+    "SearchResult",
+    "search_best",
+]

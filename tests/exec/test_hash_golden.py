@@ -1,0 +1,107 @@
+"""Hash-stability golden: JobSpec content addresses are frozen.
+
+Every persisted result (the store, durations sidecars, BENCH records)
+is keyed by :func:`repro.exec.spec_hash`.  An *accidental* change to
+the canonical form — field rename, different freezing, a json dump
+tweak — silently orphans every cached result while all behavioural
+tests keep passing.  This suite pins the hash of a corpus spanning
+every spec field (including ``sampling`` and ``faults``) against
+``hash_golden.json``.
+
+If a hash changes on purpose (schema evolution), bump
+``SCHEMA_VERSION`` in ``src/repro/exec/spec.py`` and regenerate:
+
+    PYTHONPATH=src python tests/exec/test_hash_golden.py --regen
+"""
+
+import json
+import pathlib
+
+from repro.exec import SCHEMA_VERSION, JobSpec, spec_hash
+from repro.resil import FaultEvent, FaultSchedule
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("hash_golden.json")
+
+#: The schema version the golden file was generated under.  A salt
+#: bump invalidates every pinned hash by design — regenerate.
+GOLDEN_SCHEMA_VERSION = 3
+
+
+def golden_corpus() -> dict:
+    """Name -> JobSpec, one entry per hash-relevant axis."""
+    faults = FaultSchedule((
+        FaultEvent("core_dead", core=3),
+        FaultEvent("core_kill", core=1, cycle=500),
+        FaultEvent("link_slow", link=(0, 2), extra=4, net="opn"),
+    )).spec_items()
+    return {
+        "edge_default": JobSpec.edge("conv"),
+        "edge_2core": JobSpec.edge("conv", ncores=2),
+        "edge_32core_scale4": JobSpec.edge("gzip", ncores=32, scale=4),
+        "trips_baseline": JobSpec.edge("conv", trips=True),
+        "edge_ideal_handshake": JobSpec.edge("conv", ncores=8,
+                                             ideal_handshake=True),
+        "edge_overrides_int": JobSpec.edge("conv", overrides={"lsq_size": 1}),
+        "edge_overrides_str": JobSpec.edge("conv",
+                                           overrides={"lsq_size": "1"}),
+        "edge_core_overrides": JobSpec.edge(
+            "conv", overrides={"b": 2, "a": 1},
+            core_overrides={"issue_width": 2}),
+        "edge_no_verify": JobSpec.edge("conv", verify=False),
+        "edge_sampled": JobSpec.edge(
+            "equake", ncores=16,
+            sampling={"ff_blocks": 64, "window_blocks": 16,
+                      "warmup_blocks": 4}),
+        "edge_sampled_fine": JobSpec.edge(
+            "equake", ncores=16,
+            sampling={"ff_blocks": 16, "window_blocks": 32,
+                      "warmup_blocks": 8}),
+        "edge_faulted": JobSpec.edge("ammp", ncores=8, faults=faults),
+        "risc_baseline": JobSpec.risc("conv"),
+        "risc_scaled": JobSpec.risc("mcf", scale=2),
+    }
+
+
+def test_golden_file_schema_version_current():
+    """The golden file must be regenerated whenever the salt bumps —
+    otherwise every pinned hash is testing a dead schema."""
+    assert SCHEMA_VERSION == GOLDEN_SCHEMA_VERSION, (
+        "SCHEMA_VERSION changed: regenerate tests/exec/hash_golden.json "
+        "(see module docstring) and bump GOLDEN_SCHEMA_VERSION")
+
+
+def test_hashes_match_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    corpus = golden_corpus()
+    assert set(corpus) == set(golden["hashes"]), (
+        "corpus and golden file list different spec names — regenerate")
+    mismatches = {
+        name: (spec_hash(spec), golden["hashes"][name])
+        for name, spec in corpus.items()
+        if spec_hash(spec) != golden["hashes"][name]
+    }
+    assert not mismatches, (
+        f"content hashes drifted (cached results would be orphaned): "
+        f"{mismatches}\nIf intentional, bump SCHEMA_VERSION and "
+        f"regenerate the golden file.")
+
+
+def test_golden_hashes_are_distinct():
+    """The corpus axes must actually produce distinct addresses."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    hashes = list(golden["hashes"].values())
+    assert len(set(hashes)) == len(hashes)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("refusing to overwrite the golden file without --regen")
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "hashes": {name: spec_hash(spec)
+                   for name, spec in sorted(golden_corpus().items())},
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {len(payload['hashes'])} hashes to {GOLDEN_PATH}")

@@ -1,8 +1,12 @@
 """Adaptive scheduling: job families, the duration book, LJF ordering."""
 
 import json
+import pathlib
+import tempfile
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exec import JobSpec
 from repro.exec.sched import (
@@ -28,9 +32,25 @@ class TestJobFamily:
     def test_mode_tags(self):
         sampled = JobSpec.edge("conv", ncores=4,
                                sampling={"ff_blocks": 100})
-        assert job_family(sampled).endswith("+sampled")
+        assert job_family(sampled).endswith("+sampled100")
         faulty = JobSpec.edge("conv", ncores=4, faults=("dead:3",))
         assert job_family(faulty).endswith("+faults")
+
+    def test_sampling_fidelity_splits_families(self):
+        """Search rungs at different fast-forward lengths differ by
+        integer runtime factors — they must not share an estimate."""
+        coarse = JobSpec.edge("conv", ncores=4,
+                              sampling={"ff_blocks": 64,
+                                        "window_blocks": 16})
+        fine = JobSpec.edge("conv", ncores=4,
+                            sampling={"ff_blocks": 16,
+                                      "window_blocks": 32})
+        assert job_family(coarse) != job_family(fine)
+        # Window/warmup variants at one fast-forward length fold in.
+        window = JobSpec.edge("conv", ncores=4,
+                              sampling={"ff_blocks": 64,
+                                        "window_blocks": 24})
+        assert job_family(coarse) == job_family(window)
 
     def test_overrides_fold_into_one_family(self):
         base = JobSpec.edge("conv", ncores=4)
@@ -145,3 +165,114 @@ class TestOrderIndices:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             order_indices(self._specs(), [0], DurationBook(), "random")
+
+
+#: Hypothesis vocabularies for the property tests below.
+_DURATIONS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+_FAMILY_NAMES = st.text(alphabet="abcdefgh0123456789|x+.", min_size=1,
+                        max_size=16)
+_FAMILY_MAPS = st.dictionaries(
+    _FAMILY_NAMES, st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=6)
+
+
+class TestDurationBookProperties:
+    """Property tests: invariants the scheduler's correctness-neutral
+    contract rests on, over adversarial inputs."""
+
+    @given(st.lists(_DURATIONS, min_size=1, max_size=50))
+    def test_ewma_never_negative(self, observations):
+        """Whatever garbage timers report (clock steps backwards, NTP
+        slew), the estimate must stay a plausible duration: >= 0 and
+        finite after every single observation."""
+        book = DurationBook()
+        for seconds in observations:
+            estimate = book.note("f", seconds)
+            assert estimate >= 0.0
+            assert estimate <= 1e6
+            assert book.estimate("f") == estimate
+
+    @settings(deadline=None, max_examples=25)
+    @given(_FAMILY_MAPS, _FAMILY_MAPS)
+    def test_sidecar_merge_is_commutative_for_disjoint_sessions(
+            self, fams_a, fams_b):
+        """Two sessions that ran disjoint families can flush into one
+        sidecar in either order and produce the identical file — the
+        read-merge-write contract of concurrent CLI invocations."""
+        fams_a = {"a:" + name: secs for name, secs in fams_a.items()}
+        fams_b = {"b:" + name: secs for name, secs in fams_b.items()}
+
+        def flush_session(path, families):
+            book = DurationBook(path)
+            for family, seconds in families.items():
+                book.note(family, seconds)
+            book.flush()
+
+        with tempfile.TemporaryDirectory() as tmp:
+            ab = pathlib.Path(tmp) / "ab" / BOOK_NAME
+            ba = pathlib.Path(tmp) / "ba" / BOOK_NAME
+            flush_session(ab, fams_a)
+            flush_session(ab, fams_b)
+            flush_session(ba, fams_b)
+            flush_session(ba, fams_a)
+            assert json.loads(ab.read_text()) == json.loads(ba.read_text())
+
+    @settings(deadline=None, max_examples=25)
+    @given(_FAMILY_MAPS)
+    def test_flush_is_idempotent(self, families):
+        """Flushing a book twice writes the same file: the second flush
+        has no touched families left and must not re-fold estimates."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / BOOK_NAME
+            book = DurationBook(path)
+            for family, seconds in families.items():
+                book.note(family, seconds)
+            book.flush()
+            first = path.read_text()
+            book.flush()
+            assert path.read_text() == first
+
+
+class TestOrderIndicesProperties:
+    @settings(deadline=None)
+    @given(n=st.integers(min_value=1, max_value=8), data=st.data())
+    def test_order_is_permutation_of_todo(self, n, data):
+        """LJF reorders dispatch, never gates or drops work: for any
+        todo subset and any partially-warm book, the result is exactly
+        a permutation of todo."""
+        specs = [JobSpec.edge("conv", ncores=2, scale=i + 1)
+                 for i in range(n)]
+        todo = data.draw(st.permutations(range(n)))
+        observed = data.draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n - 1),
+                      st.floats(min_value=0.0, max_value=1e3,
+                                allow_nan=False)),
+            max_size=2 * n))
+        book = DurationBook()
+        for index, seconds in observed:
+            book.note_spec(specs[index], seconds)
+        order = order_indices(specs, todo, book, "ljf")
+        assert sorted(order) == sorted(todo)
+        # Structural LJF invariant: unknown families first in input
+        # order, then known families by non-increasing estimate.
+        estimates = [book.estimate_for(specs[i]) for i in order]
+        known_start = next(
+            (pos for pos, est in enumerate(estimates) if est is not None),
+            len(estimates))
+        assert all(est is None for est in estimates[:known_start])
+        known = estimates[known_start:]
+        assert all(est is not None for est in known)
+        assert known == sorted(known, reverse=True)
+
+    @given(n=st.integers(min_value=1, max_value=8), data=st.data())
+    def test_cold_book_is_fifo(self, n, data):
+        """With no estimates at all (or no book), LJF degrades to plain
+        FIFO — and the fifo policy is FIFO regardless of warmth."""
+        specs = [JobSpec.edge("conv", ncores=2, scale=i + 1)
+                 for i in range(n)]
+        todo = data.draw(st.permutations(range(n)))
+        assert order_indices(specs, todo, DurationBook(), "ljf") == list(todo)
+        assert order_indices(specs, todo, None, "ljf") == list(todo)
+        warm = DurationBook()
+        warm.note_spec(specs[0], 42.0)
+        assert order_indices(specs, todo, warm, "fifo") == list(todo)

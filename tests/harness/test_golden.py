@@ -26,6 +26,8 @@ from repro.harness.golden import (
     load_fixture,
 )
 
+pytestmark = pytest.mark.slow
+
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
 
 

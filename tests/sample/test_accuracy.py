@@ -20,12 +20,16 @@ import math
 import pathlib
 import time
 
+import pytest
+
 import repro.harness.runner as runner_mod
 from repro.exec.spec import JobSpec
 from repro.harness import configure_cache
 from repro.harness.benchrecord import record_job
 from repro.harness.golden import GOLDEN_BENCHMARKS, GOLDEN_SCALE
 from repro.harness.runner import simulate_spec
+
+pytestmark = pytest.mark.slow
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 OUTPUT_PATH = ROOT / "BENCH_sim.json"

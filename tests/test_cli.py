@@ -191,3 +191,39 @@ class TestResilCommands:
         assert payload["dead_counts"] == [0, 1]
         assert len(payload["curve"]) == 2
         assert payload["curve"][0]["mean_relative"] == 1.0
+
+
+def _registered_subcommands():
+    """Every subcommand the parser knows, straight from argparse."""
+    import argparse
+
+    parser = build_parser()
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return sorted(action.choices)
+
+
+class TestHelpSmoke:
+    """``repro <cmd> --help`` must exit 0 for every registered
+    subcommand — the cheapest whole-surface regression net (a typo'd
+    flag definition or import error in any command kills its help)."""
+
+    def test_sweep_covers_search(self):
+        commands = _registered_subcommands()
+        assert "search" in commands
+        assert len(commands) >= 10
+
+    @pytest.mark.parametrize("command", _registered_subcommands())
+    def test_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage" in out.lower()
+        assert command in out
+
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()

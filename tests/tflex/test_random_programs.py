@@ -28,6 +28,7 @@ from hypothesis import given, settings, strategies as st
 from repro.isa import BlockBuilder, Interpreter, Program
 from repro.tflex import run_program
 
+pytestmark = pytest.mark.slow
 
 SCRATCH = 0x20_0000
 SCRATCH_WORDS = 8
