@@ -1,13 +1,16 @@
 """Performance smoke tests: catch wall-clock regressions in the
 simulator hot path.
 
-Three jobs, timed with pytest-benchmark:
+The timed jobs:
 
 * the figure-6 driver over the golden benchmark subset at scale=1 (the
   same sweep the golden-result suite replays bit-identically),
-* a micro benchmark of the bare event-queue step loop, and
+* a micro benchmark of the bare event-queue step loop,
 * the functional interpreter loop (the sampled-simulation
-  fast-forward path) over a golden program.
+  fast-forward path) over a golden program,
+* the warm worker pool against per-job spawning, and
+* the shared fast-forward trace store against per-job fast-forward
+  interpretation over a sampled composition sweep.
 
 Each measurement is **appended** to ``BENCH_sim.json`` at the repo root
 as part of this session's run record (machine id, git sha, python
@@ -29,6 +32,8 @@ import time
 
 import repro.harness.runner as runner_mod
 from repro.exec import ResultStore, run_specs
+from repro.exec.spec import JobSpec
+from repro.exec.worker import execute_spec
 from repro.harness import (
     clear_cache,
     configure_cache,
@@ -38,6 +43,7 @@ from repro.harness import (
 from repro.harness.benchrecord import record_job
 from repro.harness.golden import GOLDEN_BENCHMARKS, GOLDEN_SCALE
 from repro.isa.interp import Interpreter
+from repro.sample.trace import configure_ff_trace, reset_ff_trace
 from repro.tflex.events import EventQueue
 from repro.workloads import BENCHMARKS
 
@@ -194,6 +200,99 @@ def test_pool_vs_spawn(tmp_path):
     assert spawn_s >= 1.3 * pool_s, (
         f"warm pool not fast enough: pool {pool_s:.2f}s vs "
         f"spawn {spawn_s:.2f}s ({spawn_s / pool_s:.2f}x, need >=1.3x)")
+
+
+#: Per-benchmark data scales sized so every golden benchmark commits
+#: roughly 25k blocks (ammp grows quadratically with scale, the others
+#: linearly), keeping the sampled sweep's fast-forward region — the
+#: work the shared trace amortises — comparable across benchmarks.
+SHARED_FF_SCALES = {"a2time": 2048, "ammp": 24, "bzip2": 256,
+                    "conv": 192, "dither": 1024, "equake": 384,
+                    "gzip": 320}
+#: Fast-forward schedule: interval length chosen so each run takes two
+#: detailed windows (ammp's larger block count gets a longer interval).
+SHARED_FF_BLOCKS = {"ammp": 40_000}
+SHARED_FF_DEFAULT_BLOCKS = 16_000
+#: Acceptance floor for record-once/replay-many vs per-job
+#: fast-forward.  Measured: ~2.6-2.7x on the development machine; the
+#: gate is set well below so shared-CI load jitter cannot flake it,
+#: while the recorded fig6_shared_ff/fig6_perjob_ff trajectory in
+#: BENCH_sim.json carries the real ratio.
+SHARED_FF_FLOOR = 1.8
+
+
+def _shared_ff_specs() -> list:
+    """7 compositions x golden subset, sampled: the fig6 core sweep
+    (1..32 cores) plus the ideal-handshake ablation arm — every spec of
+    one benchmark shares (program, scale, schedule), so one recorded
+    trace serves all seven."""
+    specs = []
+    for name in GOLDEN_BENCHMARKS:
+        scale = SHARED_FF_SCALES[name]
+        sampling = {
+            "ff_blocks": SHARED_FF_BLOCKS.get(name, SHARED_FF_DEFAULT_BLOCKS),
+            "window_blocks": 12, "warmup_blocks": 4,
+        }
+        for n in (1, 2, 4, 8, 16, 32):
+            specs.append(JobSpec.edge(name, ncores=n, scale=scale,
+                                      sampling=sampling))
+        specs.append(JobSpec.edge(name, ncores=32, scale=scale,
+                                  ideal_handshake=True, sampling=sampling))
+    return specs
+
+
+def _run_ff_arm(store_root: pathlib.Path, trace_dir) -> tuple:
+    """Run the sampled sweep serially in-process with the fast-forward
+    trace store pointed at ``trace_dir`` (or disabled when ``None``).
+
+    Serial execution on one worker is the honest-work comparison: the
+    per-job arm interprets the fast-forward region for every
+    composition, the shared arm records it once per benchmark and
+    replays it for the other six.  Each arm starts from a cold program
+    cache and a cold store.
+    """
+    clear_cache()
+    configure_cache(enabled=False)
+    if trace_dir is None:
+        configure_ff_trace(enabled=False)
+    else:
+        configure_ff_trace(enabled=True, cache_dir=trace_dir)
+    store = ResultStore(store_root)
+    specs = _shared_ff_specs()
+    t0 = time.perf_counter()
+    for spec in specs:
+        store.store(spec, execute_spec(spec))
+    return time.perf_counter() - t0, store, specs
+
+
+def test_shared_ff_vs_perjob(tmp_path):
+    """Acceptance: recording each benchmark's fast-forward trace once
+    and replaying it across the other six compositions beats per-job
+    fast-forward interpretation by >=1.8x aggregate wall clock, with
+    byte-identical result-store records."""
+    calibration = calibrate()
+    try:
+        perjob_s, perjob_store, specs = _run_ff_arm(
+            tmp_path / "perjob", None)
+        shared_s, shared_store, __ = _run_ff_arm(
+            tmp_path / "shared", tmp_path / "traces")
+    finally:
+        reset_ff_trace()
+        clear_cache()
+        configure_cache(enabled=False)
+
+    for spec in specs:
+        a = shared_store.path_for(shared_store.key(spec)).read_bytes()
+        b = perjob_store.path_for(perjob_store.key(spec)).read_bytes()
+        assert a == b, f"records diverge for {spec.label()}"
+
+    _record("fig6_shared_ff", shared_s, calibration)
+    _record("fig6_perjob_ff", perjob_s, calibration)
+    _check_regression("fig6_shared_ff", shared_s, calibration)
+    assert perjob_s >= SHARED_FF_FLOOR * shared_s, (
+        f"shared fast-forward not fast enough: shared {shared_s:.2f}s vs "
+        f"per-job {perjob_s:.2f}s ({perjob_s / shared_s:.2f}x, "
+        f"need >={SHARED_FF_FLOOR}x)")
 
 
 def test_interp_loop_smoke(benchmark):

@@ -28,9 +28,18 @@ Simulating commands take ``--jobs N`` (parallel workers for cold
 points) with ``--pool/--no-pool`` (warm persistent worker pool vs one
 process per job) and ``--schedule ljf|fifo`` (dispatch order),
 ``--cache-dir DIR`` and ``--no-cache`` (the persistent result store
-under ``.repro-cache/`` — see docs/EXECUTION.md), plus ``--trace-out
-FILE`` (JSONL event trace) and ``--metrics`` (print the metrics
-registry) — see docs/OBSERVABILITY.md.
+under ``.repro-cache/`` — see docs/EXECUTION.md),
+``--ff-trace/--no-ff-trace`` (shared fast-forward traces for sampled
+runs, recorded once per benchmark/schedule and replayed by every
+composition — on by default, disabled by ``--no-cache`` unless
+``--ff-trace`` asks for it explicitly), plus ``--trace-out FILE``
+(JSONL event trace) and ``--metrics`` (print the metrics registry) —
+see docs/OBSERVABILITY.md.
+
+``cache gc`` prunes the persistent cache (result records and
+fast-forward traces; the scheduler's duration sidecar is kept) by
+size and/or age: ``repro cache gc --max-bytes 500M --max-age-days 30``
+(``--dry-run`` reports the plan without deleting).
 
 ``run``, ``sweep`` and the fig6-derived figures additionally take
 ``--sample`` (with ``--sample-ff/--sample-window/--sample-warmup``) to
@@ -42,6 +51,7 @@ accuracy/speedup trade-off.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -252,6 +262,29 @@ def _cmd_resil(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    import pathlib
+
+    from repro.exec.store import gc_cache
+    from repro.harness import resolve_cache_dir
+
+    root = (pathlib.Path(args.cache_dir) if args.cache_dir
+            else resolve_cache_dir())
+    report = gc_cache(root, max_bytes=args.max_bytes_parsed,
+                      max_age_days=args.max_age_days, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"cache gc: {root}")
+    print(f"  scanned {report['scanned']} entries "
+          f"({report['scanned_bytes']} bytes)")
+    print(f"  {verb} {report['removed']} entries "
+          f"({report['removed_bytes']} bytes), "
+          f"kept {report['kept']} ({report['kept_bytes']} bytes)")
+    if args.dry_run:
+        for path in report["removed_paths"]:
+            print(f"    {path}")
+    return 0
+
+
 def _add_sample_flags(sub_parser) -> None:
     """Sampled-simulation knobs (see docs/PERFORMANCE.md)."""
     sub_parser.add_argument(
@@ -302,6 +335,15 @@ def _add_exec_flags(sub_parser, jobs: bool = True) -> None:
     sub_parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent result store for this invocation")
+    ff_group = sub_parser.add_mutually_exclusive_group()
+    ff_group.add_argument(
+        "--ff-trace", dest="ff_trace", action="store_true", default=None,
+        help="record/replay shared fast-forward traces for sampled runs "
+             "(default; recorded once per benchmark+schedule under "
+             "<cache-dir>/traces and replayed by every composition)")
+    ff_group.add_argument(
+        "--no-ff-trace", dest="ff_trace", action="store_false",
+        help="interpret every sampled run's fast-forward live")
     sub_parser.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="write a JSONL event trace of this invocation to FILE")
@@ -402,6 +444,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the degradation curve as JSON")
     _add_exec_flags(resil_p)
 
+    cache_p = sub.add_parser(
+        "cache", help="persistent store maintenance")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    gc_p = cache_sub.add_parser(
+        "gc", help="prune cached results and fast-forward traces by "
+                   "age and total size")
+    gc_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store location to prune (default .repro-cache)")
+    gc_p.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="prune oldest entries until the store fits in SIZE "
+             "(accepts K/M/G suffixes, e.g. 512M)")
+    gc_p.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="prune entries older than DAYS")
+    gc_p.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting anything")
+
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
         fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
         fig_p.add_argument("--scale", type=int, default=1)
@@ -470,6 +532,19 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
             parser.error(f"--max-candidates must be >= 1, "
                          f"got {args.max_candidates}")
 
+    if args.command == "cache":
+        from repro.exec.store import parse_size
+
+        args.max_bytes_parsed = None
+        if args.max_bytes is not None:
+            try:
+                args.max_bytes_parsed = parse_size(args.max_bytes)
+            except ValueError as exc:
+                parser.error(f"--max-bytes: {exc}")
+        if args.max_age_days is not None and args.max_age_days < 0:
+            parser.error(f"--max-age-days must be >= 0, "
+                         f"got {args.max_age_days}")
+
     if args.command == "resil":
         from repro.tflex.placement import SHAPES
 
@@ -484,13 +559,34 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
 
 
 def _configure_store(args) -> None:
-    """Apply --cache-dir/--no-cache; commands without the flags (list,
-    disasm, timeline) leave the store configuration untouched."""
+    """Apply --cache-dir/--no-cache/--ff-trace; commands without the
+    flags (list, disasm, timeline) leave the store configuration
+    untouched."""
     if not hasattr(args, "no_cache"):
         return
     from repro.harness import configure_cache
 
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
+
+    # The fast-forward trace store rides the same cache directory.  It
+    # follows --no-cache (a no-disk invocation stays no-disk) unless
+    # --ff-trace explicitly asks for traces; the choice is mirrored
+    # into the environment so executor workers — which never see the
+    # parsed flags — resolve the same store.
+    import pathlib
+
+    from repro.sample.trace import (TRACE_DIR_ENV, TRACE_ENABLED_ENV,
+                                    configure_ff_trace, resolve_trace_dir)
+
+    ff_trace = getattr(args, "ff_trace", None)
+    enabled = ff_trace if ff_trace is not None else not args.no_cache
+    configure_ff_trace(
+        enabled=enabled,
+        cache_dir=(pathlib.Path(args.cache_dir) / "traces"
+                   if args.cache_dir else None))
+    os.environ[TRACE_ENABLED_ENV] = "1" if enabled else "0"
+    if enabled:
+        os.environ[TRACE_DIR_ENV] = str(resolve_trace_dir())
 
 
 def _configure_exec(args) -> None:
@@ -548,6 +644,8 @@ def _dispatch(args) -> int:
         return _cmd_resil(args)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_figure(args)
 
 
@@ -555,17 +653,33 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(parser, args)
+
+    # _configure_store mirrors the ff-trace choice into the environment
+    # for executor workers; restore it on exit so in-process callers
+    # (tests, notebooks) don't leak one invocation's choice into the
+    # next.
+    from repro.sample.trace import TRACE_DIR_ENV, TRACE_ENABLED_ENV
+
+    saved_env = {name: os.environ.get(name)
+                 for name in (TRACE_ENABLED_ENV, TRACE_DIR_ENV)}
     try:
-        _configure_store(args)
-    except OSError as exc:
-        print(f"repro: {exc}", file=sys.stderr)
-        return 2
-    _configure_exec(args)
-    _configure_obs(args)
-    try:
-        return _dispatch(args)
+        try:
+            _configure_store(args)
+        except OSError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        _configure_exec(args)
+        _configure_obs(args)
+        try:
+            return _dispatch(args)
+        finally:
+            _finalize_obs(args)
     finally:
-        _finalize_obs(args)
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 if __name__ == "__main__":  # pragma: no cover

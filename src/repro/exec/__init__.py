@@ -27,7 +27,8 @@ instant and ``--jobs N`` parallelises cold sweeps.  See
 """
 
 from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
-from repro.exec.store import ResultStore, advisory_lock
+from repro.exec.store import (BlobStore, ResultStore, advisory_lock,
+                              gc_cache, parse_size)
 from repro.exec.progress import ProgressReporter
 from repro.exec.sched import DurationBook, job_family, order_indices
 from repro.exec.worker import execute_spec, pool_worker_main
@@ -38,8 +39,11 @@ __all__ = [
     "SCHEMA_VERSION",
     "JobSpec",
     "spec_hash",
+    "BlobStore",
     "ResultStore",
     "advisory_lock",
+    "gc_cache",
+    "parse_size",
     "ProgressReporter",
     "DurationBook",
     "job_family",

@@ -12,10 +12,12 @@ an error.
 from __future__ import annotations
 
 import contextlib
+import gzip
 import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Iterator, Optional, Union
 
 from repro.exec.spec import SCHEMA_VERSION, JobSpec, spec_hash
@@ -169,3 +171,233 @@ class ResultStore:
     def counters(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes}
+
+
+class BlobStore:
+    """Content-keyed gzip-JSON blob store with the same durability
+    contract as :class:`ResultStore`.
+
+    Records live under ``<root>/<key[:2]>/<key>.json.gz`` where the
+    caller supplies the key (already a content hash).  Writes are
+    atomic (temp file + ``os.replace``); reads are corruption-tolerant
+    — a truncated, unparsable, schema- or key-mismatched blob is a
+    miss, never an error.  The sampled engine's fast-forward trace
+    store (:class:`repro.sample.trace.FFTraceStore`) is the client.
+    """
+
+    SUFFIX = ".json.gz"
+
+    def __init__(self, root: Union[str, pathlib.Path], salt: int = 0) -> None:
+        self.root = pathlib.Path(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}{self.SUFFIX}"
+
+    def lock(self):
+        """Advisory cross-process lock scoped to this store's root."""
+        return advisory_lock(self.root / ".lock")
+
+    # -- reads ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or ``None`` on any miss —
+        including a corrupt, truncated, or schema-mismatched blob."""
+        try:
+            with gzip.open(self.path_for(key), "rt", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, EOFError, ValueError, UnicodeDecodeError):
+            record = None
+        if (not isinstance(record, dict) or record.get("schema") != self.salt
+                or record.get("key") != key or "payload" not in record):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["payload"]
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no validation beyond the file being
+        present; :meth:`load` still applies the full checks)."""
+        return self.path_for(key).is_file()
+
+    # -- writes --------------------------------------------------------
+
+    def store(self, key: str, payload: dict) -> pathlib.Path:
+        """Atomically persist one blob; last writer wins on a race
+        (both writers hold identical content for a content key)."""
+        record = {"schema": self.salt, "key": key, "payload": payload}
+        # Compact separators + compression level 1: blobs are cold
+        # storage for already-hashed content, so write latency (on the
+        # recording run's critical path) beats ratio; ``mtime=0`` keeps
+        # the bytes deterministic for identical content.
+        data = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.GzipFile(fileobj=raw, mode="wb",
+                                   compresslevel=1, mtime=0) as fh:
+                    fh.write(data)
+                raw.flush()
+                os.fsync(raw.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob(f"??/*{self.SUFFIX}")):
+            yield path.name[:-len(self.SUFFIX)]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clear(self) -> int:
+        removed = 0
+        for key in list(self.iter_keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def counters(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
+
+
+# ----------------------------------------------------------------------
+# Cache garbage collection (results + traces; sidecars exempt)
+# ----------------------------------------------------------------------
+
+#: Prunable record classes under one cache root: result records at the
+#: top level, fast-forward traces under ``traces/``.  The scheduler's
+#: ``durations.json`` sidecar and lock files are deliberately not
+#: listed — they are tiny, shared, and rebuilt incrementally.
+_GC_CLASSES = (
+    ("result", "??/*.json"),
+    ("trace", "traces/??/*.json.gz"),
+)
+
+
+def parse_size(text: Union[str, int, None]) -> Optional[int]:
+    """Parse a byte budget like ``500M``/``2G``/``123456`` (K/M/G are
+    binary multiples); ``None`` passes through."""
+    if text is None or isinstance(text, int):
+        return text
+    raw = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    factor = units.get(raw[-1:].upper(), 1)
+    digits = raw[:-1] if factor != 1 else raw
+    try:
+        value = int(digits)
+    except ValueError:
+        raise ValueError(f"unparsable size {text!r} (expected e.g. "
+                         f"500M, 2G, or a byte count)") from None
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return value * factor
+
+
+def gc_cache(root: Union[str, pathlib.Path],
+             max_bytes: Optional[int] = None,
+             max_age_days: Optional[float] = None,
+             dry_run: bool = False,
+             now: Optional[float] = None) -> dict:
+    """Size/age-bounded pruning of one cache directory.
+
+    Two independent bounds, both optional: records older than
+    ``max_age_days`` go first, then the newest records are kept until
+    ``max_bytes`` is exhausted and the remainder (oldest-first) is
+    removed.  With neither bound this only reports the footprint.
+    ``dry_run`` computes the same plan without deleting anything.
+
+    Runs under the store's advisory lock so concurrent CLI invocations
+    can't race the scan; individual deletions tolerate records that
+    vanish mid-flight (another gc, or a writer replacing a temp file).
+    Emits a ``cache.gc`` event plus ``exec.gc_scanned`` /
+    ``exec.gc_removed`` / ``exec.gc_bytes_freed`` metrics.
+    """
+    import repro.obs as obs_lib
+
+    root = pathlib.Path(root)
+    report = {
+        "root": str(root), "dry_run": dry_run,
+        "scanned": 0, "scanned_bytes": 0,
+        "removed": 0, "removed_bytes": 0,
+        "kept": 0, "kept_bytes": 0,
+        "removed_paths": [],
+    }
+    if not root.is_dir():
+        return report
+    now = time.time() if now is None else now
+
+    with advisory_lock(root / ".lock"):
+        entries = []                      # (mtime, size, path, class)
+        for kind, pattern in _GC_CLASSES:
+            for path in root.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path, kind))
+        report["scanned"] = len(entries)
+        report["scanned_bytes"] = sum(size for __, size, __p, __k in entries)
+
+        doomed = []
+        survivors = sorted(entries, reverse=True)   # newest first
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            doomed = [e for e in survivors if e[0] < cutoff]
+            survivors = [e for e in survivors if e[0] >= cutoff]
+        if max_bytes is not None:
+            budget = max_bytes
+            kept = []
+            for entry in survivors:
+                if entry[1] <= budget:
+                    budget -= entry[1]
+                    kept.append(entry)
+                else:
+                    doomed.append(entry)
+            survivors = kept
+
+        for __mtime, size, path, kind in doomed:
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            report["removed"] += 1
+            report["removed_bytes"] += size
+            report["removed_paths"].append(str(path))
+        report["kept"] = len(survivors)
+        report["kept_bytes"] = sum(size for __, size, __p, __k in survivors)
+
+    obs = obs_lib.current()
+    if obs.active:
+        obs.emit("cache.gc", root=str(root), dry_run=dry_run,
+                 scanned=report["scanned"], removed=report["removed"],
+                 bytes_freed=report["removed_bytes"],
+                 bytes_kept=report["kept_bytes"])
+        obs.metrics.inc("exec.gc_scanned", report["scanned"])
+        if report["removed"]:
+            obs.metrics.inc("exec.gc_removed", report["removed"],
+                            dry_run=str(dry_run).lower())
+            obs.metrics.inc("exec.gc_bytes_freed", report["removed_bytes"],
+                            dry_run=str(dry_run).lower())
+    return report

@@ -386,9 +386,29 @@ def prewarm_specs(specs: Sequence[JobSpec], jobs: int = 1,
     if schedule is None:
         schedule = _EXEC_OPTIONS["schedule"]
     cold = [s for s in specs if spec_hash(s) not in _CACHE]
-    outcomes = run_specs(cold, jobs=jobs, timeout=timeout,
-                         store=get_store(), progress=progress,
-                         pool=pool, schedule=schedule)
+
+    # Shared fast-forward traces: run one recorder per (program, scale,
+    # schedule) group *before* the fan-out, so N compositions of one
+    # benchmark interpret the fast-forward trajectory once and replay
+    # it N-1 times instead of racing N redundant recorders
+    # (docs/PERFORMANCE.md).  Recorders of different groups still run
+    # in parallel with each other.
+    recorders: list = []
+    if len(cold) > 1:
+        from repro.sample.trace import prewarm_partition
+
+        recorders, rest = prewarm_partition(cold)
+        if recorders:
+            cold = rest
+
+    outcomes = []
+    if recorders:
+        outcomes.extend(run_specs(recorders, jobs=jobs, timeout=timeout,
+                                  store=get_store(), progress=progress,
+                                  pool=pool, schedule=schedule))
+    outcomes.extend(run_specs(cold, jobs=jobs, timeout=timeout,
+                              store=get_store(), progress=progress,
+                              pool=pool, schedule=schedule))
     for outcome in outcomes:
         if outcome.ok and outcome.payload is not None:
             _CACHE[spec_hash(outcome.spec)] = _result_from_payload(

@@ -177,6 +177,22 @@ class CacheBank:
     # State transfer (sampled-simulation warm-up injection, checkpoints)
     # ------------------------------------------------------------------
 
+    def swap_lines(self, other: "CacheBank") -> None:
+        """Exchange resident lines with a same-geometry bank in O(1).
+
+        Observably identical to an ``export_lines``/``import_lines``
+        round trip in each direction (set order, LRU order, and line
+        state all move by reference); stats stay with their owner.  The
+        sampled engine uses this to move warm state to and from
+        per-window systems without materializing snapshots.
+        """
+        if other.num_sets != self.num_sets \
+                or other.line_size != self.line_size \
+                or other.assoc != self.assoc:
+            raise ValueError(f"{self.name}: swap geometry mismatch "
+                             f"with {other.name}")
+        self._sets, other._sets = other._sets, self._sets
+
     def export_lines(self) -> list:
         """JSON-safe snapshot of the resident lines, one list per set in
         LRU-first order (so a round trip preserves eviction order)."""

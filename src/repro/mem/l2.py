@@ -167,6 +167,49 @@ class L2System:
         done = self._touch_l2(ctx, line_addr, core, now, done)
         return done, LineState.MODIFIED
 
+    def warm_read(self, ctx: int, line_addr: int, core: int) -> None:
+        """State-only :meth:`read` for cache warming (``line_addr`` must
+        be line-aligned).
+
+        Identical directory/L1/L2-array transitions to a read at cycle
+        0, with everything a warming pass ignores dropped: latency
+        arithmetic, DRAM timing, and stats.  The sampled-simulation
+        shadow (:mod:`repro.sample.shadow`) drives this once per
+        fast-forwarded block reference, so the saved work is the
+        difference between warming and simulating.
+        """
+        entry = self._dir_entry(ctx, line_addr)
+        owner = entry.owner
+        if owner is not None and owner != core:
+            owner_bank = self._l1(owner)
+            if owner_bank is not None:
+                line = owner_bank.probe(ctx, line_addr)
+                if line is not None:
+                    line.state = LineState.SHARED
+            entry.sharers.add(owner)
+            entry.owner = None
+        self._warm_touch(ctx, line_addr)
+        entry.sharers.add(core)
+
+    def warm_write(self, ctx: int, line_addr: int, core: int) -> None:
+        """State-only :meth:`write` for cache warming (``line_addr``
+        must be line-aligned); see :meth:`warm_read`."""
+        entry = self._dir_entry(ctx, line_addr)
+        owner = entry.owner
+        if entry.sharers or (owner is not None and owner != core):
+            for sharer in entry.sharers:
+                if sharer != core:
+                    l1 = self._l1(sharer)
+                    if l1 is not None:
+                        l1.invalidate(ctx, line_addr)
+            if owner is not None and owner != core:
+                l1 = self._l1(owner)
+                if l1 is not None:
+                    l1.invalidate(ctx, line_addr)
+            entry.sharers = set()
+        entry.owner = core
+        self._warm_touch(ctx, line_addr)
+
     def l1_evicted(self, ctx: int, line_addr: int, core: int) -> None:
         """An L1 silently dropped (or wrote back) a line."""
         key = (ctx, line_addr)
@@ -193,6 +236,18 @@ class L2System:
 
     def _l1(self, core: int) -> Optional[CacheBank]:
         return self.l1_banks(core) if self.l1_banks is not None else None
+
+    def _warm_touch(self, ctx: int, line_addr: int) -> None:
+        """:meth:`_touch_l2` minus DRAM, latency, and stats — the L2
+        array transitions (LRU touch, fill, eviction recall) only."""
+        bank = self.banks[(line_addr // self.line_size) % self.num_banks]
+        try:
+            bank._sets[(line_addr // bank.line_size) % bank.num_sets] \
+                .move_to_end((ctx, line_addr))
+        except KeyError:
+            victim = bank.fill(ctx, line_addr)
+            if victim is not None:
+                self._recall(victim)
 
     def _touch_l2(self, ctx: int, line_addr: int, core: int, now: int, done: int) -> int:
         """Reference the L2 bank; on a miss, go to DRAM and fill."""

@@ -13,13 +13,20 @@ from typing import Optional
 
 from repro.isa.program import BLOCK_STRIDE
 from repro.predictor.exits import (
+    EXIT_BITS,
+    EXIT_MASK,
     ExitPredictor,
     ExitPrediction,
     GLOBAL_HISTORY_EXITS,
+    LOCAL_HISTORY_EXITS,
+    _CONF_MAX,
     push_history,
 )
 from repro.predictor.ras import DistributedRas, RasCheckpoint
 from repro.predictor.targets import BranchKind, TargetPredictor
+
+_LOCAL_HIST_MASK = (1 << (EXIT_BITS * LOCAL_HISTORY_EXITS)) - 1
+_GLOBAL_HIST_MASK = (1 << (EXIT_BITS * GLOBAL_HISTORY_EXITS)) - 1
 
 
 @dataclass
@@ -91,12 +98,128 @@ class PredictorBank:
         self.exits.update(block_num, prediction.checkpoint.exit_prediction, actual_exit)
         self.targets.update(prediction.block_addr, actual_exit, actual_kind, actual_target)
 
+    def observe_commit(self, block_addr: int, global_history: int,
+                       ras: DistributedRas, actual_exit: int,
+                       actual_kind: BranchKind, actual_next: int) -> int:
+        """Commit-order warm-up step; returns the next global history.
+
+        Equivalent table/RAS state to the full speculative sequence —
+        ``predict``, then on a wrong next-block ``exits.repair`` +
+        ``ras.restore`` + the actual RAS op, then ``update`` — but
+        fused: shared table entries are fetched once, no prediction or
+        checkpoint objects are allocated (an undone-on-mispredict RAS
+        push/pop nets out to applying only the surviving op), and stats
+        are not maintained.  This is the sampled-simulation
+        fast-forward hot path (:meth:`ShadowUarch.observe`); the cycle
+        simulator keeps the allocating sequence, whose checkpoints it
+        needs for flush repair.
+        """
+        exits = self.exits
+        block_num = block_addr // BLOCK_STRIDE
+
+        # Exit prediction (tournament), reusing each entry for training.
+        hist = exits._local_hist
+        l1 = block_num % len(hist)
+        local_history = hist[l1]
+        pattern = exits._local_pattern
+        local_entry = pattern[local_history % len(pattern)]
+        local_exit = local_entry.exit_id
+        pattern = exits._global_pattern
+        global_entry = pattern[(global_history ^ block_num) % len(pattern)]
+        global_exit = global_entry.exit_id
+        choice = exits._choice
+        ci = (global_history ^ (block_num * 7)) % len(choice)
+        exit_id = global_exit if choice[ci] >= 2 else local_exit
+
+        # Target prediction (Btype + BTB/CTB/RAS/sequential).
+        targets = self.targets
+        key = block_num * 8 + exit_id
+        kind = targets._btype[key % len(targets._btype)]
+        if kind is BranchKind.SEQ:
+            target = block_addr + BLOCK_STRIDE
+        elif kind is BranchKind.RETURN:
+            target = ras._stack[(ras._top - 1) % ras.capacity] \
+                if ras._top else 0
+        else:
+            table = targets._btb if kind is BranchKind.BRANCH \
+                else targets._ctb
+            entry = table[key % len(table)]
+            target = entry.target if entry.key == key \
+                else block_addr + BLOCK_STRIDE
+
+        # A mispredicted block's speculative history push is replaced
+        # by the corrected exit (``exits.repair(actual_exit)``), and
+        # its RAS op is rolled back before the actual op applies — so
+        # only the surviving exit/op touches state.
+        if target != actual_next:
+            survivor_exit, survivor_kind = actual_exit, actual_kind
+        else:
+            survivor_exit, survivor_kind = exit_id, kind
+        hist[l1] = ((local_history << EXIT_BITS)
+                    | (survivor_exit & EXIT_MASK)) & _LOCAL_HIST_MASK
+        if survivor_kind is BranchKind.CALL:
+            slot = ras._top % ras.capacity
+            ras._stack[slot] = block_addr + BLOCK_STRIDE
+            ras._top += 1
+        elif survivor_kind is BranchKind.RETURN:
+            if ras._top:
+                ras._top -= 1
+
+        # Train the exit patterns (inlined ``_PatternEntry.update``)
+        # and the choice table with the resolved exit.
+        if local_entry.exit_id == actual_exit:
+            if local_entry.confidence < _CONF_MAX:
+                local_entry.confidence += 1
+        elif local_entry.confidence > 0:
+            local_entry.confidence -= 1
+        else:
+            local_entry.exit_id = actual_exit
+            local_entry.confidence = 1
+        if global_entry.exit_id == actual_exit:
+            if global_entry.confidence < _CONF_MAX:
+                global_entry.confidence += 1
+        elif global_entry.confidence > 0:
+            global_entry.confidence -= 1
+        else:
+            global_entry.exit_id = actual_exit
+            global_entry.confidence = 1
+        local_ok = local_exit == actual_exit
+        if local_ok != (global_exit == actual_exit):
+            if local_ok:
+                if choice[ci] > 0:
+                    choice[ci] -= 1
+            elif choice[ci] < 3:
+                choice[ci] += 1
+
+        # Train the target tables with the resolved exit branch.
+        key = block_num * 8 + actual_exit
+        kind = actual_kind
+        if kind is BranchKind.BRANCH \
+                and actual_next == block_addr + BLOCK_STRIDE:
+            kind = BranchKind.SEQ
+        targets._btype[key % len(targets._btype)] = kind
+        if kind is BranchKind.BRANCH:
+            entry = targets._btb[key % len(targets._btb)]
+            entry.key, entry.target = key, actual_next
+        elif kind is BranchKind.CALL:
+            entry = targets._ctb[key % len(targets._ctb)]
+            entry.key, entry.target = key, actual_next
+
+        return ((global_history << EXIT_BITS)
+                | (survivor_exit & EXIT_MASK)) & _GLOBAL_HIST_MASK
+
     def repair(self, prediction: Prediction, ras: DistributedRas,
                actual_exit: Optional[int] = None) -> None:
         """Undo this prediction's speculative state (flush, youngest-first)."""
         self.exits.repair(prediction.checkpoint.exit_prediction, actual_exit)
         if prediction.checkpoint.ras_checkpoint is not None:
             ras.restore(prediction.checkpoint.ras_checkpoint)
+
+    def swap_state(self, other: "PredictorBank") -> None:
+        """Exchange all table contents with a same-geometry bank in
+        O(1) (:meth:`ExitPredictor.swap_state`)."""
+        self.exits.swap_state(other.exits)
+        self.targets.swap_state(other.targets)
 
     def state_dict(self) -> dict:
         """JSON-safe snapshot of both table sets (stats excluded)."""

@@ -184,6 +184,23 @@ class ExitPredictor:
     # State transfer (sampled-simulation warm-up injection, checkpoints)
     # ------------------------------------------------------------------
 
+    def swap_state(self, other: "ExitPredictor") -> None:
+        """Exchange table contents with a same-geometry predictor in
+        O(1) — see :meth:`DistributedRas.swap_state` for why the
+        sampled engine may exchange instead of copy."""
+        if len(other._local_hist) != len(self._local_hist) \
+                or len(other._local_pattern) != len(self._local_pattern) \
+                or len(other._global_pattern) != len(self._global_pattern) \
+                or len(other._choice) != len(self._choice):
+            raise ValueError("exit-predictor swap geometry mismatch")
+        self._local_hist, other._local_hist = \
+            other._local_hist, self._local_hist
+        self._local_pattern, other._local_pattern = \
+            other._local_pattern, self._local_pattern
+        self._global_pattern, other._global_pattern = \
+            other._global_pattern, self._global_pattern
+        self._choice, other._choice = other._choice, self._choice
+
     def state_dict(self) -> dict:
         """JSON-safe snapshot of the table contents (stats excluded)."""
         return {

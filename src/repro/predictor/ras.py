@@ -106,6 +106,19 @@ class DistributedRas:
     # State transfer (sampled-simulation warm-up injection, checkpoints)
     # ------------------------------------------------------------------
 
+    def swap_state(self, other: "DistributedRas") -> None:
+        """Exchange stack contents with a same-capacity RAS in O(1).
+
+        The sampled engine moves warm state between the shadow and a
+        per-window system whose post-window state is never read again,
+        so an exchange is observably identical to a copy and allocates
+        nothing.  Stats stay with their owner, as in ``load_state``.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError("RAS swap capacity mismatch")
+        self._stack, other._stack = other._stack, self._stack
+        self._top, other._top = other._top, self._top
+
     def state_dict(self) -> dict:
         """JSON-safe snapshot of the stack contents (stats excluded)."""
         return {"stack": list(self._stack), "top": self._top}

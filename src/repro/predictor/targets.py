@@ -135,6 +135,18 @@ class TargetPredictor:
     # State transfer (sampled-simulation warm-up injection, checkpoints)
     # ------------------------------------------------------------------
 
+    def swap_state(self, other: "TargetPredictor") -> None:
+        """Exchange table contents with a same-geometry predictor in
+        O(1) — see :meth:`DistributedRas.swap_state` for why the
+        sampled engine may exchange instead of copy."""
+        if len(other._btype) != len(self._btype) \
+                or len(other._btb) != len(self._btb) \
+                or len(other._ctb) != len(self._ctb):
+            raise ValueError("target-predictor swap geometry mismatch")
+        self._btype, other._btype = other._btype, self._btype
+        self._btb, other._btb = other._btb, self._btb
+        self._ctb, other._ctb = other._ctb, self._ctb
+
     def state_dict(self) -> dict:
         """JSON-safe snapshot of the table contents (stats excluded)."""
         return {

@@ -15,7 +15,9 @@ different configuration.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -74,7 +76,25 @@ class Checkpoint:
             "dependence")})
 
     def save(self, path: Union[str, pathlib.Path]) -> None:
-        pathlib.Path(path).write_text(json.dumps(self.to_dict()))
+        """Atomically persist the checkpoint (temp file in the target
+        directory, then ``os.replace``) — a killed worker can truncate
+        the temp file, never the checkpoint itself."""
+        path = pathlib.Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent if str(path.parent) else ".",
+            prefix=f".{path.name}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def load(path: Union[str, pathlib.Path]) -> "Checkpoint":

@@ -89,9 +89,9 @@ class SampledRun:
     the extrapolated :class:`~repro.harness.runner.RunResult`.
     """
 
-    def __init__(self, spec, sampling: Optional[SamplingConfig] = None) -> None:
-        from repro.harness.runner import build_edge_config
-        from repro.workloads import BENCHMARKS
+    def __init__(self, spec, sampling: Optional[SamplingConfig] = None,
+                 trace=None) -> None:
+        from repro.harness.runner import build_edge_config, cached_program
 
         if spec.kind != "edge":
             raise ValueError(f"sampling only supports edge specs, not {spec.kind!r}")
@@ -104,9 +104,8 @@ class SampledRun:
         self.spec = spec
         self.sampling = sampling
         self.cfg, self.ncores = build_edge_config(spec)
-        benchmark = BENCHMARKS[spec.bench]
         self.program, self.expected, self.kernel = \
-            benchmark.edge_program(spec.scale)
+            cached_program("edge", spec.bench, spec.scale)
         self.mem = RecordingMemory()
         self.interp = Interpreter(self.program, memory=self.mem)
         self.shadow = ShadowUarch(self.cfg, self.ncores)
@@ -125,6 +124,11 @@ class SampledRun:
         self.dependence: set[tuple[str, int]] = set()
         self.finished = False
         self.obs = obs_lib.current()
+        #: Shared fast-forward trace session (repro.sample.trace):
+        #: a RecordSession captures this run's intervals, a
+        #: ReplaySession substitutes recorded intervals for live
+        #: interpretation.  None = plain live fast-forward.
+        self.trace = trace
 
     # ------------------------------------------------------------------
     # Driving
@@ -225,38 +229,39 @@ class SampledRun:
         self.ghist = proc.last_commit_ghist
         self._absorb(system, proc)
 
-    def _inject(self, system: TFlexSystem, proc) -> None:
-        """Copy the shadow's warm state into the real structures."""
+    def _swap_state(self, system: TFlexSystem, proc) -> None:
+        """Exchange warm state between the shadow and a window system.
+
+        Each window runs on a fresh ``TFlexSystem`` that is discarded
+        after :meth:`_absorb`, and the shadow is idle while the window
+        runs — so moving state by O(1) reference swaps (contents
+        identical to the ``state_dict``/``export_lines`` round trip,
+        which JSON checkpoints still use) is observably a copy in both
+        directions, without materializing per-window snapshots."""
         shadow = self.shadow
         for i, bank in enumerate(shadow.pred_banks):
-            system.cores[proc.core_of_index(i)].predictor.load_state(
-                bank.state_dict())
-        proc.ras.load_state(shadow.ras.state_dict())
+            system.cores[proc.core_of_index(i)].predictor.swap_state(bank)
+        proc.ras.swap_state(shadow.ras)
         for i in range(self.ncores):
-            system.cores[proc.core_of_index(i)].icache.import_lines(
-                shadow.icaches[i].export_lines())
+            system.cores[proc.core_of_index(i)].icache.swap_lines(
+                shadow.icaches[i])
         for b in range(shadow.num_dbanks):
-            system.cores[proc.dbank_core(b)].dcache.import_lines(
-                shadow.dcaches[b].export_lines())
+            system.cores[proc.dbank_core(b)].dcache.swap_lines(
+                shadow.dcaches[b])
         for l2_bank, shadow_bank in zip(system.l2.banks, shadow.l2.banks):
-            l2_bank.import_lines(shadow_bank.export_lines())
+            l2_bank.swap_lines(shadow_bank)
+
+    def _inject(self, system: TFlexSystem, proc) -> None:
+        """Move the shadow's warm state into the real structures."""
+        self._swap_state(system, proc)
         rebuild_directory(system.l2, self._l1_by_global_core(system, proc))
 
     def _absorb(self, system: TFlexSystem, proc) -> None:
-        """Copy the window's final state back into the shadow (and the
+        """Move the window's final state back into the shadow (and the
         interpreter's registers) so fast-forward continues from it."""
-        shadow = self.shadow
         self.interp.regs[:] = proc.regs
-        shadow.load_state({
-            "pred": [system.cores[proc.core_of_index(i)].predictor.state_dict()
-                     for i in range(len(shadow.pred_banks))],
-            "ras": proc.ras.state_dict(),
-            "icache": [system.cores[proc.core_of_index(i)].icache.export_lines()
-                       for i in range(self.ncores)],
-            "dcache": [system.cores[proc.dbank_core(b)].dcache.export_lines()
-                       for b in range(shadow.num_dbanks)],
-            "l2": [bank.export_lines() for bank in system.l2.banks],
-        })
+        self._swap_state(system, proc)
+        self.shadow.rebuild_directory()
 
     def _l1_by_global_core(self, system: TFlexSystem, proc) -> dict:
         l1_by_core: dict[int, list] = {}
@@ -275,6 +280,28 @@ class SampledRun:
     # ------------------------------------------------------------------
 
     def _fast_forward(self, n_blocks: int) -> None:
+        trace = self.trace
+        if trace is not None and trace.mode == "replay":
+            # Intervals are indexed by position: the loop alternates
+            # window -> fast-forward, so the interval after window k is
+            # interval k (resume restores k as len(windows)).
+            interval = trace.interval_for(len(self.windows) - 1, self.addr)
+            if interval is not None:
+                profiler = self.obs.profiler
+                if profiler.enabled:
+                    with profiler.phase("sample.ff_replay"):
+                        executed = self._replay_interval(interval)
+                else:
+                    executed = self._replay_interval(interval)
+                if self.obs.active:
+                    self.obs.emit("sample.ff_replayed", bench=self.spec.bench,
+                                  blocks=executed, resumed_at=self.addr,
+                                  finished=self.finished)
+                    self.obs.metrics.inc("sample.ff_replayed",
+                                         bench=self.spec.bench)
+                    self.obs.metrics.inc("sample.ff_replayed_blocks",
+                                         executed, bench=self.spec.bench)
+                return
         profiler = self.obs.profiler
         if profiler.enabled:
             with profiler.phase("sample.ff"):
@@ -284,6 +311,7 @@ class SampledRun:
         if self.obs.active:
             self.obs.emit("sample.ff", bench=self.spec.bench, blocks=executed,
                           resumed_at=self.addr, finished=self.finished)
+            self.obs.metrics.inc("sample.ff", bench=self.spec.bench)
             self.obs.metrics.inc("sample.ff_blocks", executed,
                                  bench=self.spec.bench)
 
@@ -295,6 +323,10 @@ class SampledRun:
         addr = self.addr
         ghist = self.ghist
         executed = 0
+        rec = self.trace if (self.trace is not None
+                             and self.trace.mode == "record") else None
+        if rec is not None:
+            rec.begin_interval(len(self.windows) - 1, addr, interp.regs)
         for __ in range(n_blocks):
             block = program.block_at(addr)
             mem.load_addrs.clear()
@@ -303,6 +335,8 @@ class SampledRun:
             mem.recording = False
             interp.commit(outcome)
             ghist = shadow.observe(block, addr, ghist, outcome, mem.load_addrs)
+            if rec is not None:
+                rec.record_block(addr, outcome, mem.load_addrs)
             self.blocks += 1
             self.insts += outcome.insts_fired
             self.loads += outcome.loads
@@ -314,6 +348,74 @@ class SampledRun:
                 break
         self.addr = addr
         self.ghist = ghist
+        if rec is not None:
+            rec.end_interval(interp.regs, self.finished)
+        return executed
+
+    def _replay_interval(self, interval) -> int:
+        """Re-apply one recorded fast-forward interval: stores land on
+        memory in commit order, recorded outcomes warm this
+        composition's shadow structures, and the boundary register
+        delta replaces per-block write application — functionally
+        identical to :meth:`_ff_loop` without interpreting a single
+        instruction."""
+        from repro.mem.flatmem import PAGE_MASK, PAGE_SIZE
+        from repro.sample.trace import ReplayOutcome
+
+        mem = self.mem
+        shadow = self.shadow
+        program = self.program
+        ghist = self.ghist
+        addrs = interval.addrs
+        exits = interval.exits
+        nexts = interval.nexts
+        branch_ops = interval.branch_ops
+        insts = interval.insts
+        loads = interval.loads
+        load_addrs = interval.load_addrs
+        stores = interval.stores
+        stores_raw = interval.stores_raw
+        outcome = ReplayOutcome()
+        pages = mem._pages
+        write_bytes = mem.write_bytes
+        observe = shadow.observe
+        block_at = program.block_at
+        for i in range(len(addrs)):
+            addr = addrs[i]
+            block = block_at(addr)
+            block_stores = stores[i]
+            # Stores were pre-encoded to raw bytes at trace decode
+            # (byte-identical to ``FlatMemory.store``); land them with
+            # direct page writes, falling back to the generic path only
+            # for the rare page-straddling store.
+            for saddr, raw in stores_raw[i]:
+                off = saddr & PAGE_MASK
+                end = off + len(raw)
+                if end <= PAGE_SIZE:
+                    number = saddr >> 12
+                    page = pages.get(number)
+                    if page is None:
+                        page = pages[number] = bytearray(PAGE_SIZE)
+                    page[off:end] = raw
+                else:
+                    write_bytes(saddr, raw)
+            outcome.exit_id = exits[i]
+            outcome.next_addr = nexts[i]
+            outcome.branch_op = branch_ops[i]
+            outcome.stores = block_stores
+            ghist = observe(block, addr, ghist, outcome, load_addrs[i])
+            self.insts += insts[i]
+            self.loads += loads[i]
+            self.stores += len(block_stores)
+        executed = len(addrs)
+        self.blocks += executed
+        self.ghist = ghist
+        regs = self.interp.regs
+        for index, value in interval.reg_delta:
+            regs[index] = value
+        self.addr = nexts[-1] if executed else self.addr
+        if interval.finished:
+            self.finished = True
         return executed
 
     # ------------------------------------------------------------------
@@ -465,12 +567,16 @@ class SampledRun:
         )
 
     @staticmethod
-    def resume(spec, checkpoint: Checkpoint) -> "SampledRun":
+    def resume(spec, checkpoint: Checkpoint, trace=None) -> "SampledRun":
         """Rebuild a run from a checkpoint; continuing it produces the
-        exact result the uninterrupted run would have."""
+        exact result the uninterrupted run would have.  ``trace`` may
+        hand the resumed run a replay session (intervals re-align by
+        window count); a record session started mid-run abandons
+        itself rather than persist a partial trace."""
         if checkpoint.spec != spec.canonical():
             raise ValueError("checkpoint was taken under a different job spec")
-        run = SampledRun(spec, SamplingConfig.from_dict(checkpoint.sampling))
+        run = SampledRun(spec, SamplingConfig.from_dict(checkpoint.sampling),
+                         trace=trace)
         run.addr = checkpoint.addr
         run.ghist = checkpoint.ghist
         run.blocks = checkpoint.blocks
@@ -496,5 +602,19 @@ class SampledRun:
 
 
 def run_sampled(spec):
-    """Execute one edge job spec with sampling; returns a RunResult."""
-    return SampledRun(spec).run()
+    """Execute one edge job spec with sampling; returns a RunResult.
+
+    With fast-forward tracing enabled (the default — see
+    :mod:`repro.sample.trace`), the first run of a
+    ``(program, scale, schedule)`` records its fast-forward intervals
+    into the trace store and every later composition replays them; the
+    result is bit-identical either way.
+    """
+    from repro.sample.trace import open_trace_session
+
+    session = open_trace_session(spec)
+    run = SampledRun(spec, trace=session)
+    result = run.run()
+    if session is not None:
+        session.finish(run)
+    return result

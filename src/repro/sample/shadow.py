@@ -139,6 +139,10 @@ class ShadowUarch:
         # Block size -> ((core_index, icache_lines), ...), the per-core
         # I-cache footprint (depends only on size and the composition).
         self._ic_lines: dict[int, tuple] = {}
+        # Block size -> ((core_index, byte_offset), ...), the same
+        # footprint flattened to one pair per touched line for the
+        # ``observe`` hot loop.
+        self._ic_flat: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Warming
@@ -156,6 +160,17 @@ class ShadowUarch:
             self._ic_lines[size] = cached
         return cached
 
+    def _icache_flat(self, size: int) -> tuple:
+        cached = self._ic_flat.get(size)
+        if cached is None:
+            line = self.line_size
+            cached = tuple(
+                (core_index, line_no * line)
+                for core_index, lines in self._icache_footprint(size)
+                for line_no in range(lines))
+            self._ic_flat[size] = cached
+        return cached
+
     def observe(self, block, addr: int, ghist: int, outcome,
                 load_addrs: list[int]) -> int:
         """Warm all structures with one committed block; returns the
@@ -164,70 +179,82 @@ class ShadowUarch:
         actual_exit = outcome.exit_id
         actual_next = outcome.next_addr
 
-        # Next-block predictor: predict, repair on a wrong path (the
-        # same sequence as ``ProtocolMixin._mispredict``), then train.
+        # Next-block predictor: the fused commit-order step — identical
+        # table/RAS state to predict, repair-on-wrong-path (the same
+        # sequence as ``ProtocolMixin._mispredict``), then train.
         if self.speculative:
-            owner = interleave.owner_index_of(addr, self.ncores,
-                                              self.cfg.centralized_predictor)
-            bank = self.pred_banks[owner]
-            prediction = bank.predict(addr, ghist, self.ras)
-            actual_kind = BranchKind.of_opcode(outcome.branch_op)
-            if prediction.next_addr != actual_next:
-                bank.exits.repair(prediction.checkpoint.exit_prediction,
-                                  actual_exit=actual_exit)
-                if prediction.checkpoint.ras_checkpoint is not None:
-                    self.ras.restore(prediction.checkpoint.ras_checkpoint)
-                    prediction.checkpoint.ras_checkpoint = None
-                if actual_kind is BranchKind.CALL:
-                    prediction.checkpoint.ras_checkpoint = self.ras.push(
-                        addr + BLOCK_STRIDE)
-                elif actual_kind is BranchKind.RETURN:
-                    __, cp = self.ras.pop()
-                    prediction.checkpoint.ras_checkpoint = cp
-                next_ghist = push_history(ghist, actual_exit,
-                                          GLOBAL_HISTORY_EXITS)
-            else:
-                next_ghist = prediction.next_global_history
-            bank.update(prediction, actual_exit, actual_kind, actual_next)
+            owner = 0 if self.cfg.centralized_predictor \
+                else (addr // BLOCK_STRIDE) % self.ncores
+            next_ghist = self.pred_banks[owner].observe_commit(
+                addr, ghist, self.ras, actual_exit,
+                BranchKind.of_opcode(outcome.branch_op), actual_next)
         else:
             next_ghist = push_history(ghist, actual_exit, GLOBAL_HISTORY_EXITS)
 
+        # The cache loops below run once per committed block for the
+        # whole fast-forward region — the hottest code in sampled
+        # simulation.  The hit path is open-coded against CacheBank's
+        # set layout (one hashed ``move_to_end`` doubling as lookup and
+        # LRU touch, no per-access stats — nothing reads shadow stats,
+        # and ``export_lines`` carries only resident state); misses
+        # fall back to the exact protocol sequence ``CacheBank.access``
+        # callers use, so warm state is bit-identical to the plain
+        # path.
+        l2 = self.l2
+        line_size = self.line_size
+        mask = ~(line_size - 1)
+        modified = LineState.MODIFIED
+        shared = LineState.SHARED
+        num_dbanks = self.num_dbanks
+        dcaches = self.dcaches
+        dbank_core = self._dbank_core
+        icaches = self.icaches
+
         # I-cache: each core's slice occupies its own lines keyed from
         # the block base address (per-core private footprint).
-        l2 = self.l2
-        for core_index, lines in self._icache_footprint(block.size):
-            icache = self.icaches[core_index]
-            for line_no in range(lines):
-                line_addr = addr + line_no * self.line_size
-                if not icache.access(ctx, line_addr):
-                    __, state = l2.read(ctx, line_addr, core_index, 0)
-                    icache.fill(ctx, line_addr, state)
+        for core_index, off in self._icache_flat(block.size):
+            icache = icaches[core_index]
+            la = (addr + off) & mask
+            try:
+                icache._sets[(la // line_size) % icache.num_sets] \
+                    .move_to_end((ctx, la))
+            except KeyError:
+                l2.warm_read(ctx, la, core_index)
+                icache.fill(ctx, la, shared)
 
         # D-cache: loads that went to memory (LSQ forwards never reach
         # the recording memory), then committed stores via the same
-        # probe/upgrade/allocate sequence as the commit drain.
+        # probe/upgrade/allocate sequence as the commit drain.  The
+        # bank hash is ``interleave.dbank_of``, inlined.
         for laddr in load_addrs:
-            b = interleave.dbank_of(laddr, self.line_size, self.num_dbanks)
-            dcache = self.dcaches[b]
-            if not dcache.access(ctx, laddr):
-                bank_core = self._dbank_core[b]
-                __, state = l2.read(ctx, laddr, bank_core, 0)
-                victim = dcache.fill(ctx, laddr, state)
+            line = laddr // line_size
+            b = (line ^ (line >> 5) ^ (line >> 10)) % num_dbanks
+            dcache = dcaches[b]
+            la = laddr & mask
+            try:
+                dcache._sets[(la // line_size) % dcache.num_sets] \
+                    .move_to_end((ctx, la))
+            except KeyError:
+                bank_core = dbank_core[b]
+                l2.warm_read(ctx, la, bank_core)
+                victim = dcache.fill(ctx, la, shared)
                 if victim is not None:
                     l2.l1_evicted(victim.ctx, victim.line_addr, bank_core)
         for __lsq, saddr, __size, __value, __fp in outcome.stores:
-            b = interleave.dbank_of(saddr, self.line_size, self.num_dbanks)
-            dcache = self.dcaches[b]
-            line = dcache.probe(ctx, saddr)
-            if line is not None and line.state is LineState.MODIFIED:
-                dcache.access(ctx, saddr, write=True)
+            line = saddr // line_size
+            b = (line ^ (line >> 5) ^ (line >> 10)) % num_dbanks
+            dcache = dcaches[b]
+            la = saddr & mask
+            cache_set = dcache._sets[(la // line_size) % dcache.num_sets]
+            line = cache_set.get((ctx, la))
+            if line is not None and line.state is modified:
+                cache_set.move_to_end((ctx, la))
                 continue
-            bank_core = self._dbank_core[b]
-            __, state = l2.write(ctx, saddr, bank_core, 0)
-            victim = dcache.fill(ctx, saddr, state)
+            bank_core = dbank_core[b]
+            l2.warm_write(ctx, la, bank_core)
+            victim = dcache.fill(ctx, saddr, modified)
             if victim is not None:
                 l2.l1_evicted(victim.ctx, victim.line_addr, bank_core)
-            dcache.access(ctx, saddr, write=True)
 
         return next_ghist
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Callable
 
@@ -86,18 +87,23 @@ def compiled_suite() -> list[Benchmark]:
 DATA_BASE = 0x10_0000
 
 
-def read_array_values(kernel: KernelProgram, load, array_name: str) -> list:
-    """Read one array back given ``load(addr, size, fp) -> value``.
-
-    Relies on the deterministic layout both backends use: arrays are
-    placed consecutively from the data base in declaration order."""
+def _array_slot(kernel: KernelProgram, array_name: str) -> tuple:
+    """``(base_address, array)`` for one array in the deterministic
+    layout both backends use: arrays are placed consecutively from the
+    data base in declaration order."""
     offset = DATA_BASE
     for arr in kernel.arrays:
         if arr.name == array_name:
-            return [load(offset + 8 * i, 8, arr.elem == "float")
-                    for i in range(arr.size)]
+            return offset, arr
         offset += arr.size * arr.elem_size
     raise KeyError(f"{kernel.name}: no array {array_name!r}")
+
+
+def read_array_values(kernel: KernelProgram, load, array_name: str) -> list:
+    """Read one array back given ``load(addr, size, fp) -> value``."""
+    offset, arr = _array_slot(kernel, array_name)
+    return [load(offset + 8 * i, 8, arr.elem == "float")
+            for i in range(arr.size)]
 
 
 def verify_edge_run(kernel: KernelProgram, memory, expected: dict,
@@ -106,9 +112,22 @@ def verify_edge_run(kernel: KernelProgram, memory, expected: dict,
 
     ``expected`` maps array names to value prefixes (shorter lists check
     only the written prefix)."""
+    read_bytes = getattr(memory, "read_bytes", None)
     for array_name, values in expected.items():
-        got = read_array_values(
-            kernel, lambda a, s, fp: memory.load(a, s, fp=fp), array_name)
+        n = len(values)
+        if read_bytes is not None:
+            # Bulk path: one ranged read + one unpack covering exactly
+            # the checked prefix.  ``<q`` matches ``FlatMemory.load``'s
+            # size-8 semantics (two's-complement signed 64-bit) and
+            # ``<d`` its IEEE-double decode, so the values compared are
+            # identical to the per-element path below.
+            offset, arr = _array_slot(kernel, array_name)
+            got = struct.unpack(
+                ("<%dd" if arr.elem == "float" else "<%dq") % n,
+                read_bytes(offset, 8 * n))
+        else:
+            got = read_array_values(
+                kernel, lambda a, s, fp: memory.load(a, s, fp=fp), array_name)
         for i, reference in enumerate(values):
             actual = got[i]
             if isinstance(reference, float):

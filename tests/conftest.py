@@ -2,26 +2,40 @@
 
 from __future__ import annotations
 
+import os
 import shutil
 
 import pytest
 
 from repro.harness import clear_cache, configure_cache, resolve_cache_dir
+from repro.sample.trace import (TRACE_ENABLED_ENV, configure_ff_trace,
+                                reset_ff_trace)
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _hermetic_cache():
     """Hermetic tier-1 runs: empty in-process cache, persistent store
-    disabled (tests that exercise the store enable it on a tmp_path and
-    restore this state afterwards).  Any store a test enables at the
-    default location lands in the pytest-scoped temp path resolved by
-    ``resolve_cache_dir``; that path is removed when the session ends so
-    repeated runs start cold and nothing leaks into the working tree."""
+    and fast-forward trace store disabled (tests that exercise either
+    enable it on a tmp_path and restore this state afterwards).  Any
+    store a test enables at the default location lands in the
+    pytest-scoped temp path resolved by ``resolve_cache_dir``; that
+    path is removed when the session ends so repeated runs start cold
+    and nothing leaks into the working tree."""
     clear_cache()
     configure_cache(enabled=False)
+    configure_ff_trace(enabled=False)
+    # Pool workers resolve the trace store from the environment, not
+    # this process's configuration — pin the choice for them too.
+    saved = os.environ.get(TRACE_ENABLED_ENV)
+    os.environ[TRACE_ENABLED_ENV] = "0"
     yield
     clear_cache()
     configure_cache(enabled=False)
+    reset_ff_trace()
+    if saved is None:
+        os.environ.pop(TRACE_ENABLED_ENV, None)
+    else:
+        os.environ[TRACE_ENABLED_ENV] = saved
     hermetic = resolve_cache_dir()
     if hermetic.name != ".repro-cache":
         shutil.rmtree(hermetic, ignore_errors=True)

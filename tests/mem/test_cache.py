@@ -191,3 +191,62 @@ class TestL2System:
         assert l1s[0].probe(0, victim_addr) is None
         assert l2.stats.recalls == 1
         assert (0, victim_addr) not in l2.directory
+
+
+class TestSwapLines:
+    """O(1) warm-state exchange: observably identical to an
+    export_lines/import_lines round trip in each direction."""
+
+    def make(self, size=1024, assoc=2, line=64):
+        return CacheBank(size, assoc, line, name="t")
+
+    def _filled(self, stride):
+        bank = self.make()
+        for i in range(6):
+            bank.fill(0, stride * (i + 1))
+            bank.access(0, stride * (i + 1))
+        return bank
+
+    def test_swap_exchanges_lines(self):
+        a = self._filled(0x40)
+        b = self._filled(0x1000)
+        lines_a = a.export_lines()
+        lines_b = b.export_lines()
+        assert lines_a != lines_b
+        a.swap_lines(b)
+        assert a.export_lines() == lines_b
+        assert b.export_lines() == lines_a
+        a.swap_lines(b)
+        assert a.export_lines() == lines_a
+
+    def test_swap_matches_import_roundtrip(self):
+        """The swap and the snapshot round trip land on identical
+        observable state — including LRU order (the eviction victim)."""
+        a = self._filled(0x40)
+        b = self.make()
+        via_swap = self.make()
+        via_swap.import_lines(a.export_lines())
+        reference = self.make()
+        reference.import_lines(a.export_lines())
+
+        a.swap_lines(b)
+        assert b.export_lines() == reference.export_lines()
+        assert a.export_lines() == self.make().export_lines()
+        # Same victim under pressure on both copies.
+        set0 = next(sets for sets in b.export_lines() if sets)
+        assert set0 == next(s for s in reference.export_lines() if s)
+
+    def test_swap_leaves_stats_with_owner(self):
+        a = self._filled(0x40)
+        b = self.make()
+        reads = a.stats.reads
+        a.swap_lines(b)
+        assert a.stats.reads == reads
+        assert b.stats.reads == 0
+
+    def test_swap_geometry_mismatch_rejected(self):
+        for other in (self.make(size=512),
+                      self.make(assoc=4),
+                      self.make(line=32)):
+            with pytest.raises(ValueError):
+                self.make().swap_lines(other)

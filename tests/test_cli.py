@@ -227,3 +227,122 @@ class TestHelpSmoke:
             main(["--help"])
         assert excinfo.value.code == 0
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestFFTraceFlags:
+    def test_flags_parse_and_conflict(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "conv"]).ff_trace is None
+        assert parser.parse_args(
+            ["run", "conv", "--ff-trace"]).ff_trace is True
+        assert parser.parse_args(
+            ["run", "conv", "--no-ff-trace"]).ff_trace is False
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "conv", "--ff-trace", "--no-ff-trace"])
+
+    def test_no_cache_disables_traces_unless_asked(self, monkeypatch,
+                                                   tmp_path, capsys):
+        """--no-cache keeps the invocation off disk, --ff-trace opts the
+        trace store back in, and the environment mirror is restored
+        either way."""
+        import os
+
+        from repro.sample.trace import (TRACE_DIR_ENV, TRACE_ENABLED_ENV,
+                                        trace_enabled)
+
+        monkeypatch.setenv(TRACE_ENABLED_ENV, "0")
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+
+        assert main(["run", "dither", "--cores", "2", "--no-cache",
+                     "--sample", "--sample-ff", "64", "--sample-window",
+                     "16", "--sample-warmup", "4"]) == 0
+        assert os.environ[TRACE_ENABLED_ENV] == "0"
+        assert TRACE_DIR_ENV not in os.environ
+
+        clear_cache()     # else the second run replays from memory
+        trace_dir = tmp_path / "store"
+        assert main(["run", "dither", "--cores", "2", "--no-cache",
+                     "--ff-trace", "--cache-dir", str(trace_dir),
+                     "--sample", "--sample-ff", "64", "--sample-window",
+                     "16", "--sample-warmup", "4"]) == 0
+        # The run recorded a trace even though results stayed off disk.
+        assert list((trace_dir / "traces").rglob("*.json.gz"))
+        assert not list(trace_dir.rglob("*.json"))
+        # Restored after exit: workers of later in-process invocations
+        # see the pre-CLI environment, not this run's mirror.
+        assert os.environ[TRACE_ENABLED_ENV] == "0"
+        assert TRACE_DIR_ENV not in os.environ
+        capsys.readouterr()
+
+
+class TestCacheGc:
+    def _populate(self, root):
+        import gzip
+        import json
+        import os
+
+        records = []
+        for i, (sub, name) in enumerate((("ab", "ab1.json"),
+                                         ("cd", "cd2.json"))):
+            path = root / sub / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps({"payload": i}))
+            records.append(path)
+        trace = root / "traces" / "ef" / "ef3.json.gz"
+        trace.parent.mkdir(parents=True, exist_ok=True)
+        trace.write_bytes(gzip.compress(b"{}"))
+        records.append(trace)
+        # Ages: 10 days, 5 days, fresh.
+        import time
+
+        now = time.time()
+        for age_days, path in zip((10, 5, 0), records):
+            stamp = now - age_days * 86400
+            os.utime(path, (stamp, stamp))
+        return records
+
+    def test_gc_by_age(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        records = self._populate(root)
+        assert main(["cache", "gc", "--cache-dir", str(root),
+                     "--max-age-days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "scanned 3 entries" in out
+        assert "removed 1 entries" in out
+        assert not records[0].exists()
+        assert records[1].exists() and records[2].exists()
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        records = self._populate(root)
+        assert main(["cache", "gc", "--cache-dir", str(root),
+                     "--max-age-days", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 3 entries" in out
+        # Dry run lists its victims and touches none of them.
+        for path in records:
+            assert str(path) in out
+            assert path.exists()
+
+    def test_gc_size_budget_keeps_newest(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        records = self._populate(root)
+        sizes = [p.stat().st_size for p in records]
+        budget = sizes[1] + sizes[2]          # newest two fit exactly
+        assert main(["cache", "gc", "--cache-dir", str(root),
+                     "--max-bytes", str(budget)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert not records[0].exists()
+        assert records[1].exists() and records[2].exists()
+
+    def test_gc_bad_size_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "gc", "--max-bytes", "lots"])
+        assert excinfo.value.code == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_negative_age_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "gc", "--max-age-days", "-1"])
+        assert excinfo.value.code == 2
+        assert "--max-age-days" in capsys.readouterr().err
