@@ -1,0 +1,59 @@
+"""``repro.analysis`` — AST invariant linter for the reproduction.
+
+Four passes guard the conventions the rest of the repo silently relies
+on (see docs/ANALYSIS.md for the rule catalog and workflow):
+
+* :mod:`repro.analysis.surface` — REP1xx: every mutable attribute of a
+  warm structure must be covered by its ``state_dict``/``swap`` surface
+  (replay/checkpoint fidelity, PR 4/8).
+* :mod:`repro.analysis.determinism` — REP2xx: no wall clocks, entropy,
+  builtin ``hash()``/``id()``, or unsorted set iteration in simulator /
+  sample / hashing modules (bit-identical results across worker
+  fan-out).
+* :mod:`repro.analysis.hashaxes` — REP3xx: every ``JobSpec``/
+  ``SamplingConfig``/``FaultSchedule`` field must reach the content
+  hash (cache soundness, PR 1/7).
+* :mod:`repro.analysis.obsnames` — REP4xx: every literal event/metric
+  name must be registered in :mod:`repro.obs.schema` and documented.
+
+Run it via ``repro lint``; CI gates on a clean report modulo
+``analysis/baseline.json``.
+"""
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    DEFAULT_SIM_PATHS,
+    PASSES,
+    LintContext,
+    LintReport,
+    run_lint,
+)
+from repro.analysis.findings import SEVERITIES, Finding, sort_findings
+from repro.analysis.source import (
+    LintError,
+    SourceModule,
+    iter_modules,
+    load_module,
+)
+
+__all__ = [
+    "DEFAULT_SIM_PATHS",
+    "Finding",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "PASSES",
+    "SEVERITIES",
+    "SourceModule",
+    "apply_baseline",
+    "iter_modules",
+    "load_baseline",
+    "load_module",
+    "run_lint",
+    "sort_findings",
+    "write_baseline",
+]

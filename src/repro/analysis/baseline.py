@@ -1,0 +1,71 @@
+"""Baseline (grandfathering) support for ``repro lint``.
+
+A baseline file records findings that existed before the gate went up,
+so CI fails only on *new* violations.  Entries match on
+``(rule, file, message)`` — line-insensitive, so edits elsewhere in a
+file do not resurrect grandfathered findings — and carry a mandatory
+``reason`` explaining why the finding is tolerated.
+
+Prefer inline ``# lint: ok(RULE) reason`` markers for individual,
+intentional exceptions; the baseline is for bulk adoption.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.source import LintError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> dict:
+    """Parse a baseline file into ``key -> entry`` (see Finding.key)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise LintError(f"baseline {path} must be an object with 'findings'")
+    entries = {}
+    for entry in data["findings"]:
+        missing = {"rule", "file", "message"} - set(entry)
+        if missing:
+            raise LintError(
+                f"baseline {path}: entry missing {sorted(missing)}: {entry}")
+        entries[(entry["rule"], entry["file"], entry["message"])] = entry
+    return entries
+
+
+def write_baseline(path: Path, findings) -> None:
+    """Write the current findings as a fresh baseline (reasons stubbed
+    for the author to fill in)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": f.rule, "file": f.file, "message": f.message,
+             "reason": "grandfathered: TODO justify or fix"}
+            for f in findings
+        ],
+    }
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(findings, entries):
+    """Split findings into (new, grandfathered, stale_entries)."""
+    new, grandfathered = [], []
+    seen = set()
+    for finding in findings:
+        key = finding.key()
+        if key in entries:
+            seen.add(key)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [entries[key] for key in entries if key not in seen]
+    return new, grandfathered, stale

@@ -1,0 +1,224 @@
+"""REP1xx — transfer-surface completeness.
+
+Replay/checkpoint fidelity (sampled simulation, recomposition) assumes
+that every *mutable* attribute of a warm structure moves with its
+transfer surface: ``state_dict``/``load_state`` for predictors,
+``swap_lines``/``export_lines``/``import_lines`` for caches,
+``swap_state`` for anything swap-based.  A mutable attribute the
+surface never reads is warm state that silently stays behind — exactly
+the drift that breaks the paper's "identical architectural state
+regardless of composition" invariant.
+
+For every class defining at least one surface method this pass:
+
+1. collects every ``self.<attr>`` assignment/mutation across all
+   methods (including ``object.__setattr__(self, "x", ...)``, subscript
+   stores, ``+=``, and in-place mutator calls such as ``.append``);
+2. decides whether the attribute is *state* (assigned outside
+   ``__init__``, or initialised to a mutable value) or *config*
+   (scalar/param-derived, assigned once in ``__init__``);
+3. flags state attributes that no surface method ever reads (REP101).
+
+Suppress intentional exclusions at the assignment site::
+
+    self.stats = CacheStats()  # lint: ok(REP101) history, not warm state
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceModule, dotted_name
+
+RULE_UNCOVERED = "REP101"
+
+#: Defining any of these makes a class a transfer-surface owner.
+SURFACE_DEF_METHODS = frozenset(
+    {"state_dict", "swap_state", "swap_lines", "export_lines"})
+#: Reads in any of these count as surface coverage.
+SURFACE_READ_METHODS = SURFACE_DEF_METHODS | {"load_state", "import_lines"}
+
+#: Calls (last dotted segment) whose result is mutable state.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "OrderedDict", "deque", "defaultdict",
+     "Counter", "bytearray"})
+
+#: Method calls on an attribute that mutate it in place.
+_MUTATOR_METHODS = frozenset(
+    {"append", "appendleft", "add", "update", "pop", "popitem", "clear",
+     "extend", "insert", "discard", "remove", "setdefault", "move_to_end"})
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def _is_mutable_value(node) -> bool:
+    """Heuristic: does this initialiser expression produce mutable state?
+
+    Containers, comprehensions, and constructor calls count; constants,
+    parameters, and arithmetic over them read as config.
+    """
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp):  # e.g. [0] * n
+        return _is_mutable_value(node.left) or _is_mutable_value(node.right)
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_value(node.body) or _is_mutable_value(node.orelse)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func).rsplit(".", 1)[-1]
+        if name in _MUTABLE_FACTORIES:
+            return True
+        # Class instantiation (CapWords convention): nested structures
+        # like PredictorBank(...) or ExitStats() carry their own state.
+        return bool(name) and name[0].isupper()
+    return False
+
+
+class _ClassSurface:
+    """Accumulated facts about one surface-owning class."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.name = node.name
+        self.defined: list = []          # surface methods present
+        #: attr -> list of (line, method_name, value_node_or_None, is_mutation)
+        self.assignments: dict = {}
+        self.surface_reads: set = set()
+
+    def record(self, attr: str, line: int, method: str, value, mutation: bool) -> None:
+        self.assignments.setdefault(attr, []).append(
+            (line, method, value, mutation))
+
+
+def _self_attr(node, selves=("self",)):
+    """'x' if node is ``self.x`` (or ``other.x`` when allowed), else None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id in selves:
+        return node.attr
+    return None
+
+
+def _target_attrs(node, direct=True):
+    """Yield ``(node, attr, direct)`` for every self-attribute stored to
+    by an assignment target.  Only the store chain is walked — subscript
+    *indices* are reads, not stores (``self._t[self._index(k)] = v``
+    mutates ``_t``, it does not make ``_index`` state)."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _target_attrs(elt, direct)
+    elif isinstance(node, ast.Starred):
+        yield from _target_attrs(node.value, direct)
+    elif isinstance(node, ast.Subscript):
+        yield from _target_attrs(node.value, False)
+    elif isinstance(node, ast.Attribute):
+        attr = _self_attr(node)
+        if attr is not None:
+            yield node, attr, direct
+        else:
+            # self.a.b = ... stores through a: a is mutated state.
+            yield from _target_attrs(node.value, False)
+
+
+def _collect_assignments(cls: _ClassSurface, method: ast.FunctionDef) -> None:
+    in_surface = method.name in SURFACE_READ_METHODS
+    for node in ast.walk(method):
+        targets = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # object.__setattr__(self, "x", value) — frozen dataclasses.
+            if dotted_name(func).endswith("__setattr__") and len(node.args) >= 3 \
+                    and isinstance(node.args[0], ast.Name) \
+                    and node.args[0].id == "self" \
+                    and isinstance(node.args[1], ast.Constant) \
+                    and isinstance(node.args[1].value, str):
+                cls.record(node.args[1].value, node.lineno, method.name,
+                           node.args[2], mutation=False)
+                continue
+            # self.x.append(...) and friends — in-place mutation.
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+                attr = _self_attr(func.value)
+                if attr and not in_surface:
+                    cls.record(attr, node.lineno, method.name, None,
+                               mutation=True)
+            continue
+        else:
+            continue
+        for target in targets:
+            for leaf, attr, direct in _target_attrs(target):
+                mutation = not direct or isinstance(node, ast.AugAssign)
+                val = value if direct and not isinstance(
+                    target, (ast.Tuple, ast.List)) else None
+                cls.record(attr, leaf.lineno, method.name, val, mutation)
+
+
+def _collect_surface_reads(cls: _ClassSurface, method: ast.FunctionDef) -> None:
+    for node in ast.walk(method):
+        attr = _self_attr(node, selves=("self", "other"))
+        if attr:
+            cls.surface_reads.add(attr)
+
+
+def _needs_coverage(records) -> bool:
+    """State vs config decision for one attribute."""
+    for line, method_name, value, mutation in records:
+        if method_name in SURFACE_READ_METHODS:
+            continue  # the surface's own writes restore state
+        if method_name not in _INIT_METHODS:
+            return True  # written during simulation → warm state
+        if mutation or _is_mutable_value(value):
+            return True  # mutable container / nested structure
+    return False
+
+
+def check_surfaces(modules, ctx=None):
+    """Run the transfer-surface pass over parsed modules."""
+    findings = []
+    for mod in modules:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = _ClassSurface(node)
+            methods = [n for n in node.body
+                       if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+            for method in methods:
+                if method.name in SURFACE_DEF_METHODS:
+                    cls.defined.append(method.name)
+            if not cls.defined:
+                continue
+            for method in methods:
+                _collect_assignments(cls, method)
+                if method.name in SURFACE_READ_METHODS:
+                    _collect_surface_reads(cls, method)
+            for attr in sorted(cls.assignments):
+                if attr in cls.surface_reads:
+                    continue
+                records = cls.assignments[attr]
+                if not _needs_coverage(records):
+                    continue
+                if any(mod.suppressed(RULE_UNCOVERED, line)
+                       for line, *_ in records):
+                    continue
+                line = min(line for line, *_ in records)
+                surface = "/".join(sorted(cls.defined))
+                findings.append(Finding(
+                    rule=RULE_UNCOVERED, severity="P1",
+                    file=mod.relpath, line=line,
+                    message=(f"{cls.name}.{attr} looks like mutable state "
+                             f"but is never read by the transfer surface "
+                             f"({surface})"),
+                    hint=("cover it in the state_dict/swap surface, or mark "
+                          "the assignment `# lint: ok(REP101) <why>` if it "
+                          "is config, derived, or stats")))
+    return findings

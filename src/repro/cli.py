@@ -17,6 +17,9 @@ Commands:
   detailed-work accounting as JSON.  See docs/SEARCH.md.
 * ``disasm BENCH`` — print the compiled EDGE hyperblocks.
 * ``profile BENCH`` — wall-clock phase profile of one simulation.
+* ``lint`` — AST invariant analysis over ``src/repro`` (transfer-surface
+  completeness, determinism, content-hash axes, obs schema); exit 1 on
+  non-baseline findings.  See docs/ANALYSIS.md.
 
 ``run`` additionally takes ``--inject SPEC`` (repeatable) to inject
 faults: ``dead:CORE``, ``kill:CORE@CYCLE``, or ``link:SRC-DST:EXTRA``
@@ -285,6 +288,50 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import pathlib
+
+    from repro.analysis import LintError, run_lint
+    from repro.analysis.baseline import write_baseline
+
+    if args.root is not None:
+        root = pathlib.Path(args.root)
+    else:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+
+    baseline = args.baseline
+    if baseline is None:
+        default = pathlib.Path("analysis") / "baseline.json"
+        if default.is_file():
+            baseline = default
+    elif baseline == "none":
+        baseline = None
+
+    try:
+        if args.write_baseline:
+            report = run_lint(root, rules=args.rules_parsed)
+            path = args.baseline or str(
+                pathlib.Path("analysis") / "baseline.json")
+            write_baseline(path, report.findings)
+            print(f"repro lint: wrote {len(report.findings)} finding(s) "
+                  f"to {path} — fill in the reasons or fix them")
+            return 0
+        report = run_lint(root, baseline_path=baseline,
+                          rules=args.rules_parsed)
+    except LintError as exc:
+        print(f"repro lint: internal error: {exc}", file=sys.stderr)
+        return 3
+
+    rendered = (report.to_json() if args.format == "json"
+                else report.render_text())
+    if args.out:
+        pathlib.Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+    print(rendered)
+    return report.exit_code
+
+
 def _add_sample_flags(sub_parser) -> None:
     """Sampled-simulation knobs (see docs/PERFORMANCE.md)."""
     sub_parser.add_argument(
@@ -464,6 +511,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="report what would be pruned without deleting anything")
 
+    lint_p = sub.add_parser(
+        "lint", help="static invariant analysis over src/repro "
+                     "(transfer surfaces, determinism, hash axes, "
+                     "obs schema — see docs/ANALYSIS.md)")
+    lint_p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="source tree to analyse (default: the installed repro "
+             "package directory)")
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)")
+    lint_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to FILE (same format)")
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="grandfathered-findings file (default: analysis/baseline.json "
+             "when present; pass 'none' to ignore it)")
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0")
+    lint_p.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule-id prefixes to run, e.g. REP1,REP204 "
+             "(default: all)")
+
     for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"):
         fig_p = sub.add_parser(fig, help=f"regenerate {fig}")
         fig_p.add_argument("--scale", type=int, default=1)
@@ -531,6 +604,16 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
         if args.max_candidates is not None and args.max_candidates < 1:
             parser.error(f"--max-candidates must be >= 1, "
                          f"got {args.max_candidates}")
+
+    if args.command == "lint":
+        args.rules_parsed = None
+        if args.rules:
+            args.rules_parsed = tuple(
+                r.strip() for r in args.rules.split(",") if r.strip())
+            bad = [r for r in args.rules_parsed if not r.startswith("REP")]
+            if bad:
+                parser.error(f"--rules entries must be REP-prefixed rule "
+                             f"ids or prefixes, got {', '.join(bad)}")
 
     if args.command == "cache":
         from repro.exec.store import parse_size
@@ -646,6 +729,8 @@ def _dispatch(args) -> int:
         return _cmd_search(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_figure(args)
 
 

@@ -154,7 +154,7 @@ class DurationBook:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with advisory_lock(self.path.with_suffix(".lock")):
             merged = self._read()
-            for family in self._touched:
+            for family in sorted(self._touched):
                 merged[family] = round(self._estimates[family], 6)
             record = {"schema": BOOK_SCHEMA, "families": merged}
             fd, tmp_name = tempfile.mkstemp(

@@ -138,8 +138,8 @@ class _PInst:
             self.fp = op.name.endswith("F")
             self.offset = int(inst.imm or 0)
             if self.code == _LOAD:
-                self.older_stores = tuple(
-                    s for s in store_ids if s < inst.lsq_id)
+                self.older_stores = tuple(sorted(
+                    s for s in store_ids if s < inst.lsq_id))
         else:
             self.code = _ALU
             self.evalf = bind_evaluator(op, program.resolve_imm(inst.imm))

@@ -76,7 +76,7 @@ class CacheBank:
         self.line_size = line_size
         self.assoc = assoc
         self.num_sets = num_lines // assoc
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # lint: ok(REP101) history, not warm state — stats stay with their owner across swaps
         # set index -> OrderedDict[(ctx, line_addr) -> Line], LRU first.
         self._sets: list[OrderedDict] = [OrderedDict() for __ in range(self.num_sets)]
 

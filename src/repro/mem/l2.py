@@ -154,7 +154,7 @@ class L2System:
             # invalidation round trip from the home bank.
             bank = self.bank_of(addr)
             worst = 0
-            for sharer in others:
+            for sharer in sorted(others):
                 self.stats.invalidation_msgs += 1
                 l1 = self._l1(sharer)
                 if l1 is not None:
@@ -197,7 +197,7 @@ class L2System:
         entry = self._dir_entry(ctx, line_addr)
         owner = entry.owner
         if entry.sharers or (owner is not None and owner != core):
-            for sharer in entry.sharers:
+            for sharer in sorted(entry.sharers):
                 if sharer != core:
                     l1 = self._l1(sharer)
                     if l1 is not None:
@@ -271,7 +271,7 @@ class L2System:
         holders = set(entry.sharers)
         if entry.owner is not None:
             holders.add(entry.owner)
-        for core in holders:
+        for core in sorted(holders):
             self.stats.recalls += 1
             l1 = self._l1(core)
             if l1 is not None:

@@ -88,7 +88,7 @@ class ExitPredictor:
         self._global_pattern = [_PatternEntry() for __ in range(global_entries)]
         # Choice: 0..1 prefer local, 2..3 prefer global.
         self._choice = [1] * choice_entries
-        self.stats = ExitStats()
+        self.stats = ExitStats()  # lint: ok(REP101) history, not warm state — stats stay with their owner across swaps
 
     # ------------------------------------------------------------------
     # Indexing

@@ -43,7 +43,7 @@ class DistributedRas:
         self.capacity = num_cores * entries_per_core
         self._stack = [0] * self.capacity
         self._top = 0          # number of live entries (next free slot)
-        self.stats = RasStats()
+        self.stats = RasStats()  # lint: ok(REP101) history, not warm state — stats stay with their owner across swaps
 
     # ------------------------------------------------------------------
     # Geometry

@@ -56,7 +56,7 @@ class TargetPredictor:
         self._btype = [BranchKind.SEQ] * btype_entries
         self._btb = [_TaggedTarget() for __ in range(btb_entries)]
         self._ctb = [_TaggedTarget() for __ in range(ctb_entries)]
-        self.stats = TargetStats()
+        self.stats = TargetStats()  # lint: ok(REP101) history, not warm state — stats stay with their owner across swaps
 
     # ------------------------------------------------------------------
     # Indexing

@@ -118,6 +118,7 @@ class ShadowUarch:
                       name=f"shadow.d{b}")
             for b in range(self.num_dbanks)
         ]
+        # lint: ok(REP101) pure function of the composition geometry
         self._dbank_core = [
             interleave.dbank_core_index(b, ncores, self.num_dbanks)
             for b in range(self.num_dbanks)
@@ -131,6 +132,7 @@ class ShadowUarch:
             l1_banks=dmap.get, dram=Dram())
 
         # Participating core index -> L1 banks there (directory rebuilds).
+        # lint: ok(REP101) index over icaches/dcaches, which the surface covers
         self._l1_by_core: dict[int, list[CacheBank]] = {
             i: [self.icaches[i]] for i in range(ncores)}
         for b, core_index in enumerate(self._dbank_core):
@@ -138,11 +140,11 @@ class ShadowUarch:
 
         # Block size -> ((core_index, icache_lines), ...), the per-core
         # I-cache footprint (depends only on size and the composition).
-        self._ic_lines: dict[int, tuple] = {}
+        self._ic_lines: dict[int, tuple] = {}  # lint: ok(REP101) memo cache, rebuilt on demand
         # Block size -> ((core_index, byte_offset), ...), the same
         # footprint flattened to one pair per touched line for the
         # ``observe`` hot loop.
-        self._ic_flat: dict[int, tuple] = {}
+        self._ic_flat: dict[int, tuple] = {}  # lint: ok(REP101) memo cache, rebuilt on demand
 
     # ------------------------------------------------------------------
     # Warming

@@ -1,0 +1,21 @@
+"""Shared helpers: parse the fixture tree once per session."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import iter_modules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixture_modules():
+    return iter_modules(FIXTURES)
+
+
+def module_named(modules, stem):
+    for mod in modules:
+        if mod.path.stem == stem:
+            return mod
+    raise AssertionError(f"no fixture module named {stem}")

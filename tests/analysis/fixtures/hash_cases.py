@@ -1,0 +1,38 @@
+"""Fixture: content-hash axis pass (REP301/REP302).
+
+Nothing here executes — the linter only parses it.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoveredSpec:
+    """Every field reaches the canonical form."""
+
+    bench: str
+    ncores: int
+    verify: bool = True
+
+    def canonical(self):
+        return {"bench": self.bench, "ncores": self.ncores,
+                "verify": self.verify}
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    """``timeout`` never reaches the hash -> REP301."""
+
+    bench: str
+    ncores: int
+    timeout: float = 0.0
+
+    def canonical(self):
+        return {"bench": self.bench, "ncores": self.ncores}
+
+
+@dataclass(frozen=True)
+class SurfacelessSpec:
+    """Configured to have a ``canonical`` it does not define -> REP302."""
+
+    bench: str

@@ -1,0 +1,22 @@
+"""Fixture: obs schema pass (REP401/REP402).
+
+Nothing here executes — the linter only parses it.
+"""
+
+
+class Emitter:
+    def __init__(self, obs):
+        self.obs = obs
+
+    def run(self, program):
+        if self.obs.active:
+            self.obs.emit("known.event", blocks=1)
+            self.obs.emit("unknown.event", blocks=2)        # REP401
+            self.obs.metrics.inc("known.metric")
+            self.obs.metrics.inc("unknown.metric", 3)       # REP402
+            self.obs.metrics.set_gauge("unknown.gauge", 1)  # REP402
+            kind = "computed." + program
+            self.obs.emit(kind)          # non-literal: skipped
+            self.obs.emit(f"dyn.{kind}")  # f-string: skipped (runtime test)
+        # Not an obs receiver — instruction emission, never flagged:
+        self.program.emit("add r1, r2")

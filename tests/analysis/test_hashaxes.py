@@ -1,0 +1,60 @@
+"""REP301/REP302 — content-hash axis coverage on the fixture specs."""
+
+from repro.analysis.engine import LintContext
+from repro.analysis.hashaxes import check_hash_axes
+
+from tests.analysis.conftest import module_named
+
+_REL = "fixtures/hash_cases.py"
+
+
+def _ctx(surfaces):
+    return LintContext(hash_surfaces=surfaces, events=frozenset(),
+                       metrics=frozenset())
+
+
+class TestHashAxesPass:
+    def test_uncovered_field_is_flagged(self, fixture_modules):
+        ctx = _ctx({(_REL, "LeakySpec"): ("canonical",)})
+        findings = check_hash_axes(fixture_modules, ctx)
+        (finding,) = findings
+        assert finding.rule == "REP301"
+        assert finding.severity == "P1"
+        assert "LeakySpec.timeout" in finding.message
+        assert "collide" in finding.message
+
+    def test_covered_spec_is_clean(self, fixture_modules):
+        ctx = _ctx({(_REL, "CoveredSpec"): ("canonical",)})
+        assert check_hash_axes(fixture_modules, ctx) == []
+
+    def test_missing_method_is_flagged(self, fixture_modules):
+        ctx = _ctx({(_REL, "SurfacelessSpec"): ("canonical",)})
+        findings = check_hash_axes(fixture_modules, ctx)
+        (finding,) = findings
+        assert finding.rule == "REP302"
+        assert "SurfacelessSpec.canonical" in finding.message
+
+    def test_missing_class_is_flagged(self, fixture_modules):
+        ctx = _ctx({(_REL, "RenamedAway"): ("canonical",)})
+        findings = check_hash_axes(fixture_modules, ctx)
+        (finding,) = findings
+        assert finding.rule == "REP302"
+        assert "RenamedAway" in finding.message
+
+    def test_missing_module_is_flagged(self, fixture_modules):
+        ctx = _ctx({("fixtures/gone.py", "Anything"): ("canonical",)})
+        findings = check_hash_axes(fixture_modules, ctx)
+        (finding,) = findings
+        assert finding.rule == "REP302"
+
+    def test_real_jobspec_axes_are_covered(self):
+        """The shipped configuration holds on the real tree: every
+        JobSpec/SamplingConfig/FaultSchedule field reaches the hash."""
+        from pathlib import Path
+
+        import repro
+        from repro.analysis import iter_modules
+
+        modules = iter_modules(Path(repro.__file__).parent)
+        findings = check_hash_axes(modules, LintContext())
+        assert findings == []

@@ -1,0 +1,55 @@
+"""Meta-test: the checker must catch a deliberately broken real surface.
+
+We take the real ``PredictorBank`` source, sever every transfer-surface
+read of ``targets`` (state_dict/load_state/swap_state), and assert the
+surface pass flags exactly that attribute — i.e. deleting one attribute
+read from a real ``state_dict`` cannot slip through.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import iter_modules
+from repro.analysis.surface import check_surfaces
+
+BANK = Path(repro.__file__).parent / "predictor" / "bank.py"
+
+_SURFACE_READS = (
+    ('                "targets": self.targets.state_dict()}',
+     "                }"),
+    ('        self.targets.load_state(state["targets"])',
+     "        pass"),
+    ("        self.targets.swap_state(other.targets)",
+     "        pass"),
+)
+
+
+def _scan(tmp_path, source):
+    (tmp_path / "bank_copy.py").write_text(source, encoding="utf-8")
+    return check_surfaces(iter_modules(tmp_path))
+
+
+class TestBrokenStateDictIsCaught:
+    def test_pristine_bank_is_clean(self, tmp_path):
+        assert _scan(tmp_path, BANK.read_text(encoding="utf-8")) == []
+
+    def test_severed_targets_read_is_flagged(self, tmp_path):
+        source = BANK.read_text(encoding="utf-8")
+        for needle, replacement in _SURFACE_READS:
+            assert needle in source, (
+                "PredictorBank changed shape; update _SURFACE_READS")
+            source = source.replace(needle, replacement)
+        findings = _scan(tmp_path, source)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "REP101"
+        assert "PredictorBank.targets" in finding.message
+
+    def test_partial_severing_is_still_covered(self, tmp_path):
+        """Removing only the state_dict read keeps load_state/swap
+        coverage — the pass should stay quiet (reads in *any* surface
+        method count)."""
+        needle, replacement = _SURFACE_READS[0]
+        source = BANK.read_text(encoding="utf-8").replace(
+            needle, replacement)
+        assert _scan(tmp_path, source) == []

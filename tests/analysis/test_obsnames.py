@@ -1,0 +1,50 @@
+"""REP401-REP403 — obs schema pass on the fixture emitter."""
+
+from repro.analysis.engine import LintContext
+from repro.analysis.obsnames import check_obs_names
+
+from tests.analysis.conftest import module_named
+
+
+def _ctx(doc_text=None):
+    return LintContext(events=frozenset({"known.event"}),
+                       metrics=frozenset({"known.metric"}),
+                       doc_text=doc_text)
+
+
+def _findings(fixture_modules, doc_text=None):
+    mod = module_named(fixture_modules, "obs_cases")
+    return check_obs_names([mod], _ctx(doc_text))
+
+
+class TestObsNamesPass:
+    def test_unknown_event_flagged(self, fixture_modules):
+        findings = _findings(fixture_modules)
+        assert any(f.rule == "REP401" and "unknown.event" in f.message
+                   for f in findings)
+
+    def test_unknown_metric_flagged_for_inc_and_gauge(self, fixture_modules):
+        names = sorted(f.message.split("'")[1] for f in
+                       _findings(fixture_modules) if f.rule == "REP402")
+        assert names == ["unknown.gauge", "unknown.metric"]
+
+    def test_known_names_and_non_obs_receivers_clean(self, fixture_modules):
+        messages = " ".join(f.message for f in _findings(fixture_modules))
+        assert "'known.event'" not in messages
+        assert "'known.metric'" not in messages
+        assert "add r1" not in messages          # program.emit is not obs
+        assert "computed." not in messages       # non-literal skipped
+        assert "dyn." not in messages            # f-string skipped
+
+    def test_doc_cross_check(self, fixture_modules):
+        findings = _findings(fixture_modules,
+                             doc_text="only known.event is documented")
+        undocumented = [f for f in findings if f.rule == "REP403"]
+        (finding,) = undocumented
+        assert "known.metric" in finding.message
+        assert finding.severity == "P2"
+
+    def test_doc_cross_check_clean_when_documented(self, fixture_modules):
+        findings = _findings(
+            fixture_modules, doc_text="known.event and known.metric")
+        assert not [f for f in findings if f.rule == "REP403"]

@@ -211,6 +211,7 @@ class TestHelpSmoke:
     def test_sweep_covers_search(self):
         commands = _registered_subcommands()
         assert "search" in commands
+        assert "lint" in commands
         assert len(commands) >= 10
 
     @pytest.mark.parametrize("command", _registered_subcommands())
